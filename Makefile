@@ -1,0 +1,33 @@
+# Development targets.
+
+.PHONY: install test bench report docs examples all clean
+
+install:
+	pip install -e .[test]
+
+test:
+	pytest tests/ -q
+
+bench:
+	pytest benchmarks/ --benchmark-only -q
+
+report:
+	repro-testbed report --output docs/REPORT.md
+
+docs:
+	python tools/gen_api_docs.py
+
+examples:
+	python examples/quickstart.py
+	python examples/v2x_messaging.py
+	python examples/blind_corner_intersection.py
+	python examples/platoon_emergency_brake.py
+	python examples/latency_characterization.py 10
+	python examples/signalized_intersection.py
+	python examples/secured_v2x.py
+
+all: test bench report docs
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,60 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper (or an
+extension/ablation from DESIGN.md), prints it, and writes it to
+``benchmarks/results/<name>.txt`` so the output survives pytest's
+capture.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Absolute numbers come from the simulated substrate and are not meant
+to match the authors' testbed; the *shape* assertions in each bench
+encode what must hold (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture()
+def report():
+    """A collector that prints and persists a benchmark's table."""
+
+    class Report:
+        def __init__(self) -> None:
+            self.lines = []
+
+        def line(self, text: str = "") -> None:
+            self.lines.append(text)
+            print(text)
+
+        def table(self, headers, rows, widths=None) -> None:
+            widths = widths or [
+                max(len(str(h)), *(len(str(r[i])) for r in rows)) + 2
+                for i, h in enumerate(headers)
+            ]
+            self.line("".join(str(h).ljust(w)
+                              for h, w in zip(headers, widths)))
+            for row in rows:
+                self.line("".join(str(c).ljust(w)
+                                  for c, w in zip(row, widths)))
+
+        def save(self, name: str) -> None:
+            RESULTS_DIR.mkdir(exist_ok=True)
+            path = RESULTS_DIR / f"{name}.txt"
+            path.write_text("\n".join(self.lines) + "\n",
+                            encoding="utf-8")
+
+    return Report()
+
+
+def fmt(value, digits=1):
+    """Format a float (or None) for a table cell."""
+    if value is None:
+        return "-"
+    return f"{value:.{digits}f}"

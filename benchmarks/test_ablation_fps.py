@@ -1,0 +1,74 @@
+"""A1 -- ablation: edge inference rate vs detection latency.
+
+The paper's edge processes at ~4 FPS ("The processing is done at
+approximately 4 Frames per Second (FPS), so a small error margin on
+detection exists").  This ablation sweeps the YOLO inference time
+(equivalently the effective edge FPS) and measures the step-1 ->
+step-2 gap (true action-point crossing to YOLO detection) and the
+distance travelled past the action point before the vehicle halts --
+quantifying how much safety margin the detector's frame rate costs.
+"""
+
+import dataclasses
+
+import numpy as np
+
+from repro.core import EmergencyBrakeScenario, ScaleTestbed, Steps
+from repro.roadside.yolo import YoloConfig
+
+from benchmarks.conftest import fmt
+
+#: Mean inference times to sweep (s): ~20, ~8, ~4, ~2.5 FPS.
+INFERENCE_MEANS = (0.05, 0.125, 0.24, 0.4)
+SEEDS = (1, 2, 3)
+
+
+def run_sweep():
+    rows = []
+    for inference in INFERENCE_MEANS:
+        gaps, overshoots = [], []
+        for seed in SEEDS:
+            scenario = EmergencyBrakeScenario(
+                seed=seed,
+                yolo=YoloConfig(inference_mean=inference,
+                                inference_std=inference / 8.0),
+            )
+            testbed = ScaleTestbed(scenario)
+            measurement = testbed.run()
+            if not measurement.completed:
+                continue
+            gap = measurement.timeline.interval(
+                Steps.ACTION_POINT, Steps.DETECTION, use_clock=False)
+            gaps.append(gap)
+            overshoots.append(measurement.distance_from_action_point)
+        rows.append((inference, float(np.mean(gaps)),
+                     float(np.mean(overshoots)), len(gaps)))
+    return rows
+
+
+def test_ablation_edge_inference_rate(benchmark, report):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    report.line("Ablation A1 -- edge inference rate vs detection delay")
+    report.line()
+    table_rows = [(f"{1.0 / inference:.1f}",
+                   fmt(inference * 1000.0, 0),
+                   fmt(gap * 1000.0, 0),
+                   fmt(overshoot, 2),
+                   completed)
+                  for inference, gap, overshoot, completed in rows]
+    report.table(("eff. FPS", "inference (ms)", "AP->detect (ms)",
+                  "AP->halt dist (m)", "runs"), table_rows)
+    report.save("ablation_fps")
+
+    # --- Shape assertions --------------------------------------------
+    gaps = [gap for _inf, gap, _o, _n in rows]
+    # Slower inference -> later detection, monotone in the mean trend
+    # (allow one inversion from frame-phase noise).
+    inversions = sum(1 for a, b in zip(gaps, gaps[1:]) if a > b)
+    assert inversions <= 1
+    assert gaps[-1] > gaps[0]
+    # The fastest edge detects within ~1.5 frame periods of crossing.
+    assert gaps[0] < 0.25
+    # All configurations completed every run.
+    assert all(n == len(SEEDS) for *_rest, n in rows)

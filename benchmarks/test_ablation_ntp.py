@@ -1,0 +1,85 @@
+"""A8 -- ablation: clock-synchronisation quality vs measurement error.
+
+"All platforms were connected to a Network Time Protocol server to
+reliably collect timestamps."  Every Table II interval spans two
+devices, so the residual NTP error ends up *inside the data*.  This
+ablation sweeps the synchronisation quality from ideal to badly
+disciplined and reports the error between clock-measured and
+ground-truth intervals -- the envelope within which the paper's
+methodology can be trusted.
+"""
+
+import dataclasses
+
+import numpy as np
+
+from repro.core import EmergencyBrakeScenario, run_campaign
+from repro.sim.clock import NtpModel
+
+from benchmarks.conftest import fmt
+
+RUNS = 4
+
+PROFILES = (
+    ("ideal", NtpModel.ideal()),
+    ("LAN NTP (0.2 ms)", NtpModel.lan_default()),
+    ("poor NTP (2 ms)", NtpModel(initial_offset_std=2e-3,
+                                 drift_ppm_std=20.0,
+                                 read_jitter_std=0.2e-3)),
+    ("unsynced (10 ms)", NtpModel(initial_offset_std=10e-3,
+                                  drift_ppm_std=50.0,
+                                  read_jitter_std=0.5e-3)),
+)
+
+
+def run_sweep():
+    rows = []
+    for label, model in PROFILES:
+        scenario = EmergencyBrakeScenario(ntp=model)
+        result = run_campaign(scenario, runs=RUNS, base_seed=81)
+        errors = []
+        radio_negative = 0
+        for run in result.completed_runs:
+            clocked = run.intervals_ms(use_clock=True)
+            truth = run.intervals_ms(use_clock=False)
+            for key in ("detection_to_send", "send_to_receive",
+                        "receive_to_actuation"):
+                errors.append(abs(clocked[key] - truth[key]))
+            if clocked["send_to_receive"] < 0:
+                radio_negative += 1
+        rows.append((label, float(np.mean(errors)),
+                     float(np.max(errors)), radio_negative,
+                     len(result.completed_runs)))
+    return rows
+
+
+def test_ablation_ntp_quality(benchmark, report):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    report.line("Ablation A8 -- clock sync quality vs interval "
+                "measurement error")
+    report.line()
+    report.table(
+        ("sync profile", "mean |err| (ms)", "max |err| (ms)",
+         "negative radio-hop runs", "runs"),
+        [(label, fmt(mean, 2), fmt(worst, 2), neg, runs)
+         for label, mean, worst, neg, runs in rows])
+    report.line()
+    report.line("The ~1.6 ms radio hop is only measurable because LAN "
+                "NTP keeps residuals well below it; at 10 ms offsets "
+                "the interval data is meaningless (and can go "
+                "negative).")
+    report.save("ablation_ntp")
+
+    # --- Shape assertions --------------------------------------------
+    means = [mean for _label, mean, _worst, _neg, _runs in rows]
+    # Error grows monotonically with worse sync.
+    assert all(b >= a - 0.05 for a, b in zip(means, means[1:]))
+    # Ideal clocks: only timestamp-read granularity (0 here).
+    assert means[0] < 0.01
+    # LAN NTP: sub-millisecond errors -- the 1.6 ms hop is resolvable.
+    assert means[1] < 1.0
+    # Unsynced clocks bury the radio hop: multi-ms errors and
+    # negative hop measurements occur.
+    assert means[-1] > 3.0
+    assert rows[-1][3] >= 1

@@ -1,0 +1,62 @@
+"""E2 -- future work: detection-to-action over 5G vs IEEE 802.11p.
+
+"We are currently installing a 5G module in the robotic vehicles, to
+compare the same detection-to-action delay over a different interface
+and network."
+
+Runs the same scenario with the warning delivered (a) as an ETSI ITS
+DENM over 802.11p and (b) over a scheduled cellular link to the
+vehicle.  The structural expectation: the cellular *hop* is several
+times slower (grant-based access + core network), but the end-to-end
+total stays dominated by the edge and vehicle sides.
+"""
+
+import dataclasses
+
+from repro.core import EmergencyBrakeScenario, run_campaign
+
+from benchmarks.conftest import fmt
+
+RUNS = 5
+
+
+def run_both():
+    its = run_campaign(EmergencyBrakeScenario(radio="its_g5"),
+                       runs=RUNS, base_seed=41)
+    fiveg = run_campaign(EmergencyBrakeScenario(radio="5g"),
+                         runs=RUNS, base_seed=41)
+    return its, fiveg
+
+
+def test_ext_5g_vs_80211p(benchmark, report):
+    its, fiveg = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    its_table = its.table2(use_clock=False)
+    fiveg_table = fiveg.table2(use_clock=False)
+
+    report.line("Extension E2 -- 802.11p vs 5G warning delivery (ms, "
+                "ground truth)")
+    report.line()
+    rows = []
+    for key, label in (
+        ("detection_to_send", "detection -> dispatch"),
+        ("send_to_receive", "radio hop"),
+        ("receive_to_actuation", "receive -> actuators"),
+        ("total", "total"),
+    ):
+        rows.append((label,
+                     fmt(its_table[key]["avg"]),
+                     fmt(fiveg_table[key]["avg"])))
+    report.table(("interval", "802.11p", "5G"), rows)
+    report.save("ext_5g_comparison")
+
+    # --- Shape assertions --------------------------------------------
+    its_hop = its_table["send_to_receive"]["avg"]
+    fiveg_hop = fiveg_table["send_to_receive"]["avg"]
+    # 802.11p wins the hop by a clear factor (contention-free short
+    # broadcast vs grant-based scheduling + core network).
+    assert fiveg_hop > 2.0 * its_hop
+    assert its_hop < 5.0
+    assert 4.0 < fiveg_hop < 40.0
+    # Both remain responsive end to end (< 100 ms).
+    assert its.total_delays_ms().max() < 100.0
+    assert fiveg.total_delays_ms().max() < 110.0

@@ -1,0 +1,60 @@
+"""E1 -- future work: a comprehensive latency CDF with a fitted model.
+
+"We will carry out more measurements to produce a more comprehensive
+CDF of end-to-end latency, and possibly model it with an appropriate
+distribution so that it can be used by the community."
+
+Runs a larger campaign (shorter approach to keep the bench fast) and
+fits candidate distributions to the total-delay population.
+"""
+
+import dataclasses
+
+import numpy as np
+
+from repro.core import (
+    EmergencyBrakeScenario,
+    empirical_distribution,
+    fit_distributions,
+    run_campaign,
+    summarize,
+)
+
+from benchmarks.conftest import fmt
+
+RUNS = 40
+
+#: Shorter approach run: same timing chain, less line-following time.
+SCENARIO = EmergencyBrakeScenario(start_distance=3.5, timeout=15.0)
+
+
+def test_ext_comprehensive_latency_cdf(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: run_campaign(SCENARIO, runs=RUNS, base_seed=100),
+        rounds=1, iterations=1)
+    totals = result.total_delays_ms()
+    summary = summarize(totals)
+    fits = fit_distributions(totals)
+
+    report.line(f"Extension E1 -- latency CDF over {RUNS} runs")
+    report.line()
+    report.line(f"n={summary.count} mean={fmt(summary.mean)} "
+                f"std={fmt(summary.std)} p50={fmt(summary.p50)} "
+                f"p90={fmt(summary.p90)} p99={fmt(summary.p99)} (ms)")
+    report.line()
+    xs, fractions = empirical_distribution(totals)
+    for q in (0.1, 0.25, 0.5, 0.75, 0.9, 1.0):
+        index = min(int(q * len(xs)) - 1, len(xs) - 1)
+        report.line(f"  CDF {q:4.2f} -> {fmt(xs[index])} ms")
+    report.line()
+    report.line("Distribution fits (best AIC first):")
+    rows = [(fit.name, fmt(fit.aic), f"{fit.ks_statistic:.3f}",
+             f"{fit.ks_pvalue:.3f}") for fit in fits]
+    report.table(("family", "AIC", "KS stat", "KS p"), rows)
+    report.save("ext_latency_cdf")
+
+    # --- Shape assertions --------------------------------------------
+    assert summary.count >= RUNS * 0.9
+    assert summary.maximum < 150.0
+    # A model should fit: best candidate not rejected at 1%.
+    assert fits[0].ks_pvalue > 0.01

@@ -1,0 +1,71 @@
+"""E3/E4 -- future work: platoon detection-to-action, single- and
+multi-technology.
+
+E3: the RSU GeoBroadcasts the DENM to a 4-vehicle platoon on a
+short-range radio profile; tail members are reached by GBC
+re-forwarding (multi-hop).  E4: the leader is 5G-capable and
+re-advertises the warning intra-platoon over 802.11p.
+
+Reported per arrangement: per-member warning-to-actuation delay, the
+whole-platoon delay (slowest member), and the minimum inter-vehicle
+gap during the stop (no pile-up).
+"""
+
+import numpy as np
+
+from repro.core.platoon import PlatoonScenario, run_platoon
+
+from benchmarks.conftest import fmt
+
+SEEDS = (1, 2, 3)
+MEMBERS = 4
+
+
+def run_all():
+    out = {}
+    for interface in ("its_g5", "5g_leader"):
+        out[interface] = [
+            run_platoon(PlatoonScenario(leader_interface=interface,
+                                        members=MEMBERS, seed=seed))
+            for seed in SEEDS
+        ]
+    return out
+
+
+def test_ext_platoon_delays(benchmark, report):
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    report.line("Extensions E3/E4 -- platoon detection-to-action delay")
+    report.line(f"({MEMBERS} members, short-range radio profile, "
+                f"{len(SEEDS)} seeds)")
+    report.line()
+    shapes = {}
+    for interface, runs in results.items():
+        per_member = np.array([run.member_delays_ms() for run in runs],
+                              dtype=float)
+        mean_members = per_member.mean(axis=0)
+        platoon = [run.platoon_delay_ms for run in runs]
+        shapes[interface] = (mean_members, platoon, runs)
+        report.line(f"[{interface}]")
+        rows = [(f"member {i}", fmt(delay))
+                for i, delay in enumerate(mean_members)]
+        rows.append(("whole platoon",
+                     fmt(float(np.mean(platoon)))))
+        rows.append(("min gap (m)",
+                     fmt(min(run.min_gap for run in runs), 2)))
+        report.table(("quantity", "avg (ms)"), rows)
+        report.line()
+    report.save("ext_platoon")
+
+    # --- Shape assertions --------------------------------------------
+    for interface, (mean_members, platoon, runs) in shapes.items():
+        assert all(run.all_stopped for run in runs)
+        assert all(run.collisions == 0 for run in runs)
+        assert all(run.min_gap > 0.5 for run in runs)
+        assert all(p is not None and p < 250.0 for p in platoon)
+    # Multi-technology: the 5G leader reacts before its followers.
+    fiveg_members = shapes["5g_leader"][0]
+    assert fiveg_members[0] == min(fiveg_members)
+    # Whole-platoon delay exceeds the single-vehicle radio hop by far
+    # (polling + forwarding chain).
+    assert np.mean(shapes["its_g5"][1]) > 5.0

@@ -1,0 +1,58 @@
+"""F10 -- Figure 10: detection-to-stop measured from video frames.
+
+The paper reads the overall step-1 -> step-6 interval off the
+road-side camera recording ("The processing is done at approximately
+4 FPS, so a small error margin on detection exists"; run #4 crosses
+the action point at 51:02 and stops at 51:22).  This bench reproduces
+that measurement method: step instants quantised to the camera's frame
+boundaries, compared against ground truth.
+"""
+
+from repro.core import run_campaign, Steps
+from repro.core.measurement import video_frame_interval
+
+from benchmarks.conftest import fmt
+
+RUNS = 5
+VIDEO_FPS = 4.0
+
+
+def test_fig10_video_frame_measurement(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: run_campaign(runs=RUNS, base_seed=31),
+        rounds=1, iterations=1)
+
+    report.line("Figure 10 -- detection-to-stop period from video frames")
+    report.line(f"(camera recording at {VIDEO_FPS:.0f} FPS)")
+    report.line()
+    rows = []
+    errors = []
+    for run in result.completed_runs:
+        video = video_frame_interval(run.timeline, Steps.ACTION_POINT,
+                                     Steps.HALTED, VIDEO_FPS)
+        truth = run.action_point_to_halt()
+        errors.append(abs(video - truth))
+        rows.append((f"#{run.run_id}",
+                     fmt(video * 1000.0, 0),
+                     fmt(truth * 1000.0, 0),
+                     fmt((video - truth) * 1000.0, 0),
+                     fmt(run.detection_distance, 2)))
+    report.table(
+        ("Run", "Video (ms)", "Truth (ms)", "Error (ms)", "Det. dist (m)"),
+        rows)
+    report.line()
+    report.line(f"Frame period: {1000.0 / VIDEO_FPS:.0f} ms "
+                f"(the paper's 'small error margin on detection')")
+    report.save("fig10_video_frames")
+
+    # --- Shape assertions --------------------------------------------
+    assert len(result.completed_runs) == RUNS
+    # The video-frame error is bounded by one frame period.
+    assert all(err <= 1.0 / VIDEO_FPS + 1e-9 for err in errors)
+    # The paper's run #4 saw detection at 1.45 m for a 1.52 m action
+    # point: detections land short of the threshold (possibly on the
+    # sub-75 cm quirk frame when the 4 FPS sampling straddles the
+    # detection window).
+    for run in result.completed_runs:
+        assert run.detection_distance <= 1.52 + 0.1
+        assert run.detection_distance > 0.3

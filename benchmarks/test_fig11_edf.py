@@ -1,0 +1,53 @@
+"""F11 -- Figure 11: empirical distribution function of total delay.
+
+The paper plots the EDF of the five total-delay samples and observes
+"60% of the samples occur between 44 and 55 ms, whereas the remaining
+40% occur between 70 and 71 ms".  This bench regenerates the EDF
+series (and an ASCII rendering of the step plot).
+"""
+
+import numpy as np
+
+from repro.core import empirical_distribution, run_campaign, summarize
+from repro.core.latency import edf_at
+
+from benchmarks.conftest import fmt
+
+RUNS = 5
+
+
+def ascii_edf(xs, fractions, width=40):
+    lines = []
+    for x, fraction in zip(xs, fractions):
+        bar = "#" * int(round(fraction * width))
+        lines.append(f"{x:7.1f} ms |{bar:<{width}}| {fraction:4.2f}")
+    return lines
+
+
+def test_fig11_edf_of_total_delay(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: run_campaign(runs=RUNS, base_seed=1),
+        rounds=1, iterations=1)
+    totals = result.total_delays_ms()
+    xs, fractions = empirical_distribution(totals)
+    summary = summarize(totals)
+
+    report.line("Figure 11 -- EDF of total time samples")
+    report.line()
+    for line in ascii_edf(xs, fractions):
+        report.line(line)
+    report.line()
+    report.line(f"n={summary.count} mean={fmt(summary.mean)} ms "
+                f"min={fmt(summary.minimum)} max={fmt(summary.maximum)}")
+    low_band = edf_at(totals, np.percentile(totals, 60))
+    report.line(f"fraction at/below p60: {low_band:.2f} "
+                f"(paper: 60% within the low band)")
+    report.save("fig11_edf")
+
+    # --- Shape assertions --------------------------------------------
+    assert xs.size == RUNS
+    assert fractions[-1] == 1.0
+    assert all(a <= b for a, b in zip(fractions, fractions[1:]))
+    # Everything under 100 ms, same decade as the paper's 44-71 ms.
+    assert summary.maximum < 100.0
+    assert summary.minimum > 10.0

@@ -1,0 +1,86 @@
+"""Library performance microbenchmarks.
+
+Not a paper artefact: these track the simulator's own throughput so
+regressions in the hot paths (kernel, UPER codec, vision pipeline,
+whole-testbed run) show up in CI benchmark history.
+"""
+
+import numpy as np
+
+from repro.core import EmergencyBrakeScenario, ScaleTestbed
+from repro.messages import ActionId, Cam, Denm, ReferencePosition, StationType
+from repro.sim import Simulator
+from repro.vision import canny, probabilistic_hough, render_line_view
+
+POSITION = ReferencePosition(41.17867, -8.60782)
+
+
+def test_perf_kernel_events(benchmark):
+    """Kernel throughput: schedule + dispatch 50k chained events."""
+
+    def run():
+        sim = Simulator()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 50_000:
+                sim.schedule(1e-4, tick)
+
+        sim.schedule(0.0, tick)
+        sim.run()
+        return count[0]
+
+    assert benchmark(run) == 50_000
+
+
+def test_perf_cam_codec(benchmark):
+    """CAM encode + decode round trips per second."""
+    cam = Cam(station_id=7, station_type=StationType.PASSENGER_CAR,
+              generation_delta_time=1234, position=POSITION,
+              heading=45.0, speed=1.5)
+
+    def round_trip():
+        return Cam.decode(cam.encode())
+
+    result = benchmark(round_trip)
+    assert result.station_id == 7
+
+
+def test_perf_denm_codec(benchmark):
+    """DENM encode + decode round trips per second."""
+    denm = Denm.collision_risk(ActionId(900, 1), 600000000000,
+                               POSITION, StationType.ROAD_SIDE_UNIT,
+                               event_speed=1.4, event_heading=270.0)
+
+    def round_trip():
+        return Denm.decode(denm.encode())
+
+    result = benchmark(round_trip)
+    assert result.event_type.cause_code == 97
+
+
+def test_perf_vision_frame(benchmark):
+    """One full line-detection frame: render + Canny + Hough."""
+    rng = np.random.default_rng(1)
+
+    def frame():
+        image = render_line_view(0.03, 0.05, rng=rng)
+        edges = canny(image, 0.15, 0.3)
+        return probabilistic_hough(edges, threshold=8,
+                                   min_line_length=15,
+                                   rng=np.random.default_rng(2))
+
+    lines = benchmark(frame)
+    assert lines
+
+
+def test_perf_full_testbed_run(benchmark):
+    """Wall time of one complete emergency-braking run."""
+
+    def run():
+        return ScaleTestbed(EmergencyBrakeScenario(
+            seed=3, start_distance=3.5, timeout=15.0)).run()
+
+    measurement = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert measurement.completed

@@ -1,0 +1,59 @@
+"""T3 -- Table III: distance travelled from detection to halt.
+
+The paper's seven runs: 0.43 0.37 0.31 0.42 0.31 0.36 0.36 m
+(avg 0.36 m, variance 0.0022), always under the 0.53 m vehicle length.
+"""
+
+from repro.core import analyse_braking, run_campaign
+from repro.core.braking import (
+    FullScaleVehicle,
+    froude_scale_distance,
+    froude_scale_speed,
+    full_scale_braking_distance,
+)
+
+from benchmarks.conftest import fmt
+
+RUNS = 7
+PAPER = [0.43, 0.37, 0.31, 0.42, 0.31, 0.36, 0.36]
+
+
+def test_table3_braking_distance(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: run_campaign(runs=RUNS, base_seed=21),
+        rounds=1, iterations=1)
+    distances = result.braking_distances()
+    analysis = analyse_braking(distances)
+    paper = analyse_braking(PAPER)
+
+    report.line("Table III -- distance travelled from detection to halt")
+    report.line()
+    rows = [("measured (m)", *(fmt(d, 2) for d in distances)),
+            ("paper (m)", *(fmt(d, 2) for d in PAPER))]
+    report.table(("Run", *(f"#{i + 1}" for i in range(RUNS))), rows)
+    report.line()
+    report.line(f"measured: mean={fmt(analysis.mean, 3)} m  "
+                f"var={analysis.variance:.4f}")
+    report.line(f"paper   : mean={fmt(paper.mean, 3)} m  "
+                f"var={paper.variance:.4f}")
+    report.line(f"vehicle length: {analysis.vehicle_length} m")
+
+    # Scale -> full-size outlook (paper Section IV-C).
+    speeds = [run.speed_at_action_point for run in result.completed_runs]
+    mean_speed = sum(speeds) / len(speeds)
+    full = FullScaleVehicle()
+    full_speed = froude_scale_speed(mean_speed)
+    report.line()
+    report.line("Full-scale outlook:")
+    report.line(f"  Froude-scaled stop: {fmt(froude_scale_distance(analysis.mean), 2)} m "
+                f"from {fmt(full_speed * 3.6, 1)} km/h")
+    report.line(f"  Physics model stop from 50 km/h: "
+                f"{fmt(full_scale_braking_distance(full, 50 / 3.6), 2)} m")
+    report.save("table3_braking_distance")
+
+    # --- Shape assertions --------------------------------------------
+    assert analysis.count == RUNS
+    assert analysis.within_vehicle_length
+    # Same regime as the paper: a few tenths of a metre, low variance.
+    assert 0.15 < analysis.mean < 0.55
+    assert analysis.variance < 0.01

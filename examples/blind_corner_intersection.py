@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""The blind-corner intersection: why the infrastructure matters.
+
+Two roads cross behind an occluding wall.  The protagonist vehicle
+cannot see the crossing road user (no Line-of-Sight, visually or
+wirelessly); the road-side camera can.  This example runs the same
+conflict twice -- onboard-sensing-only vs network-aided -- and shows
+the infrastructure turning a collision into a comfortable stop.
+
+Run:  python examples/blind_corner_intersection.py
+"""
+
+from repro.core.blind_corner import compare_configurations
+
+
+def describe(name, result):
+    print(f"[{name}]")
+    outcome = "COLLISION" if result.collision else "collision avoided"
+    print(f"  outcome             : {outcome}")
+    print(f"  min vehicle distance: {result.min_separation:.2f} m")
+    if result.protagonist_stopped and result.stop_margin > -10:
+        print(f"  stop margin to zone : {result.stop_margin:.2f} m")
+    warning = ("DENM over 802.11p" if result.denm_received
+               else ("own LiDAR (too late)" if result.lidar_triggered
+                     else "none"))
+    print(f"  warning source      : {warning}")
+    if result.denm_received:
+        detection = result.timeline.get("step2_detection")
+        received = result.timeline.get("step4_obu_received")
+        if detection and received:
+            delta = (received.sim_time - detection.sim_time) * 1000.0
+            print(f"  camera detection -> OBU: {delta:.1f} ms")
+    print()
+
+
+def main() -> None:
+    print("Blind-corner intersection, same seed, two configurations\n")
+    aided, onboard = compare_configurations(seed=3)
+    describe("network-aided (camera + RSU + DENM)", aided)
+    describe("onboard-only (LiDAR behind the wall)", onboard)
+
+    assert not aided.collision and onboard.collision
+    print("The wall hides the crossing vehicle until the protagonist's")
+    print("LiDAR sees it with too little stopping distance left; the")
+    print("road-side camera sees it seconds earlier and the DENM stops")
+    print("the vehicle with margin to spare.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Latency characterisation campaign: EDF, summary, fitted model.
+
+Reproduces Figure 11 (the empirical distribution function of the
+total detection-to-actuation delay) on a larger run population and
+carries out the paper's future-work item: fitting a distribution "so
+that it can be used by the community".
+
+Run:  python examples/latency_characterization.py [runs]
+"""
+
+import sys
+
+from repro.core import (
+    EmergencyBrakeScenario,
+    empirical_distribution,
+    fit_distributions,
+    run_campaign,
+    summarize,
+)
+
+
+def main() -> None:
+    runs = int(sys.argv[1]) if len(sys.argv) > 1 else 15
+    scenario = EmergencyBrakeScenario(start_distance=3.5, timeout=15.0)
+    print(f"Running {runs} emergency-braking runs...")
+    result = run_campaign(scenario, runs=runs, base_seed=500)
+    totals = result.total_delays_ms()
+    summary = summarize(totals)
+
+    print()
+    print("Empirical distribution function of the total delay:")
+    xs, fractions = empirical_distribution(totals)
+    for x, fraction in zip(xs, fractions):
+        bar = "#" * int(round(fraction * 40))
+        print(f"  {x:6.1f} ms |{bar:<40}| {fraction:4.2f}")
+
+    print()
+    print(f"n={summary.count}  mean={summary.mean:.1f} ms  "
+          f"std={summary.std:.1f} ms")
+    print(f"p50={summary.p50:.1f}  p90={summary.p90:.1f}  "
+          f"p99={summary.p99:.1f}  max={summary.maximum:.1f} ms")
+
+    print()
+    print("Candidate distribution fits (best AIC first):")
+    for fit in fit_distributions(totals):
+        print(f"  {fit.name:<10} AIC={fit.aic:8.1f}  "
+              f"KS={fit.ks_statistic:.3f} (p={fit.ks_pvalue:.3f})")
+
+    best = fit_distributions(totals)[0]
+    print()
+    print(f"Suggested community model: {best.name} with parameters "
+          f"{tuple(round(p, 3) for p in best.parameters)}")
+
+
+if __name__ == "__main__":
+    main()

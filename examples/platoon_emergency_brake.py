@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Platoon emergency braking over one or two radio technologies.
+
+The paper's future work: extend the testbed to connected platoons and
+measure the detection-to-action delay for the *entire* platoon,
+optionally with a multi-technology arrangement (5G-capable leader,
+IEEE 802.11p intra-platoon forwarding).
+
+Run:  python examples/platoon_emergency_brake.py
+"""
+
+from repro.core.platoon import PlatoonScenario, run_platoon
+
+
+def describe(result):
+    print(f"  warning issued at t={result.warning_time:.2f} s")
+    for member, delay in zip(result.members,
+                             result.member_delays_ms()):
+        rx = member.denm_received_at
+        rx_text = f"{(rx - result.warning_time) * 1000.0:6.1f}" \
+            if rx is not None else "   -  "
+        delay_text = f"{delay:6.1f}" if delay is not None else "   -  "
+        print(f"    member {member.index}: warning rx {rx_text} ms, "
+              f"actuated {delay_text} ms, "
+              f"stopped at x={member.stop_position:6.2f} m")
+    print(f"  whole-platoon delay : {result.platoon_delay_ms:.1f} ms")
+    print(f"  min inter-vehicle gap during stop: {result.min_gap:.2f} m "
+          f"({result.collisions} collisions)")
+    print()
+
+
+def main() -> None:
+    members = 4
+    print(f"{members}-vehicle platoon, emergency stop ordered by the "
+          "infrastructure\n")
+
+    print("[all ITS-G5: RSU GeoBroadcast + multi-hop forwarding]")
+    its = run_platoon(PlatoonScenario(leader_interface="its_g5",
+                                      members=members, seed=2))
+    describe(its)
+
+    print("[multi-technology: 5G to the leader, 802.11p intra-platoon]")
+    fiveg = run_platoon(PlatoonScenario(leader_interface="5g_leader",
+                                        members=members, seed=2))
+    describe(fiveg)
+
+    assert its.all_stopped and fiveg.all_stopped
+    print("Both arrangements stop the whole platoon without a pile-up;")
+    print("the short-range radio profile forces tail members to rely on")
+    print("GeoBroadcast re-forwarding by the vehicles ahead of them.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The execution environment has no ``wheel`` package, so PEP 517/660
+builds fail; this shim lets ``pip install -e .`` fall back to the
+legacy setuptools editable install.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

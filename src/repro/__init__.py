@@ -1,0 +1,34 @@
+"""An ETSI ITS-enabled robotic scale testbed, reproduced in simulation.
+
+Python reproduction of *"An ETSI ITS-enabled Robotic Scale Testbed for
+Network-Aided Safety-Critical Scenarios"* (DSN 2023): a 1/10-scale
+autonomous vehicle performs emergency braking ordered by road-side
+infrastructure over an ETSI ITS / IEEE 802.11p link, and the entire
+detection-to-action delay chain is characterised end to end.
+
+Subpackages (see ``DESIGN.md`` for the full inventory):
+
+========================  ==============================================
+``repro.sim``             discrete-event kernel, clocks, processes
+``repro.asn1``            unaligned-PER codec
+``repro.messages``        CAM / DENM / SPATEM / MAPEM / CPM
+``repro.facilities``      CA, DEN, LDM, traffic light, CP, GLOSA
+``repro.geonet``          GeoNetworking (SHB/GBC/GUC/beacons) + BTP
+``repro.net``             802.11p MAC/PHY, propagation, DCC, 5G model
+``repro.openc2x``         OBU/RSU units with the OpenC2X HTTP API
+``repro.security``        TS 103 097-style PKI, signing, pseudonyms
+``repro.vision``          Canny + Hough line detection substrate
+``repro.vehicle``         the 1/10-scale robotic vehicle
+``repro.roadside``        camera + YOLO + tracking + hazard services
+``repro.core``            assembled testbeds, measurement, reports
+========================  ==============================================
+
+Quickstart::
+
+    from repro.core import EmergencyBrakeScenario, ScaleTestbed
+
+    measurement = ScaleTestbed(EmergencyBrakeScenario(seed=4)).run()
+    print(measurement.intervals_ms())   # the paper's Table II, one run
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,52 @@
+"""A small ASN.1 Unaligned PER (UPER) codec.
+
+ETSI ITS messages (CAM, DENM) are specified in ASN.1 and transmitted
+with unaligned Packed Encoding Rules.  OpenC2X ships the ``.asn``
+modules and compiles them with ``asn1c``; here we implement the subset
+of UPER needed for the CAM/DENM schemas directly:
+
+* constrained / semi-constrained / unconstrained INTEGERs,
+* BOOLEAN, ENUMERATED, BIT STRING, OCTET STRING, IA5String,
+* SEQUENCE with OPTIONAL/DEFAULT components and extension markers,
+* SEQUENCE OF with constrained or unconstrained length,
+* CHOICE.
+
+Values are plain Python objects: ints, bools, bytes, strings, dicts for
+SEQUENCEs, ``(alternative_name, value)`` tuples for CHOICEs and lists
+for SEQUENCE OF.  Encoding a message and decoding the bits yields an
+equal value (round-trip property, covered by hypothesis tests).
+"""
+
+from repro.asn1.per import BitReader, BitWriter, Asn1Error
+from repro.asn1.types import (
+    Asn1Type,
+    Boolean,
+    BitString,
+    Choice,
+    Enumerated,
+    Field,
+    IA5String,
+    Integer,
+    Null,
+    OctetString,
+    Sequence,
+    SequenceOf,
+)
+
+__all__ = [
+    "Asn1Error",
+    "Asn1Type",
+    "BitReader",
+    "BitWriter",
+    "Boolean",
+    "BitString",
+    "Choice",
+    "Enumerated",
+    "Field",
+    "IA5String",
+    "Integer",
+    "Null",
+    "OctetString",
+    "Sequence",
+    "SequenceOf",
+]

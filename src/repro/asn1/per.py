@@ -1,0 +1,138 @@
+"""Bit-level primitives for unaligned PER.
+
+:class:`BitWriter` and :class:`BitReader` move whole unsigned integers
+of arbitrary bit width in and out of a byte buffer with no alignment,
+which is all UPER requires.  Length determinants follow X.691 10.9:
+
+* constrained lengths within a range are encoded like a constrained
+  integer;
+* unconstrained lengths use the general form (single byte < 128,
+  two bytes with the top bits ``10`` up to 16K; fragmentation beyond
+  16K is not needed for ITS messages and raises).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class Asn1Error(ValueError):
+    """Raised on malformed values or truncated encodings."""
+
+
+class BitWriter:
+    """Accumulates an unaligned bit stream, MSB first."""
+
+    def __init__(self) -> None:
+        self._bits: List[int] = []
+
+    def __len__(self) -> int:
+        return len(self._bits)
+
+    def write_bit(self, bit: int) -> None:
+        """Append a single bit (0 or 1)."""
+        self._bits.append(1 if bit else 0)
+
+    def write_uint(self, value: int, width: int) -> None:
+        """Append *value* as an unsigned integer of *width* bits."""
+        if width < 0:
+            raise Asn1Error(f"negative width {width}")
+        if value < 0 or (width < 64 and value >> width):
+            raise Asn1Error(f"value {value} does not fit in {width} bits")
+        for shift in range(width - 1, -1, -1):
+            self._bits.append((value >> shift) & 1)
+
+    def write_bytes(self, data: bytes) -> None:
+        """Append raw octets, unaligned."""
+        for byte in data:
+            self.write_uint(byte, 8)
+
+    def write_length(self, length: int) -> None:
+        """Append an unconstrained length determinant (X.691 10.9.3)."""
+        if length < 0:
+            raise Asn1Error(f"negative length {length}")
+        if length < 128:
+            self.write_uint(length, 8)
+        elif length < 16384:
+            self.write_uint(0b10, 2)
+            self.write_uint(length, 14)
+        else:
+            raise Asn1Error(
+                f"length {length} requires fragmentation (unsupported)"
+            )
+
+    def to_bytes(self) -> bytes:
+        """The stream padded with zero bits to a whole number of octets."""
+        out = bytearray()
+        acc = 0
+        count = 0
+        for bit in self._bits:
+            acc = (acc << 1) | bit
+            count += 1
+            if count == 8:
+                out.append(acc)
+                acc = 0
+                count = 0
+        if count:
+            out.append(acc << (8 - count))
+        return bytes(out)
+
+    @property
+    def bit_length(self) -> int:
+        """Number of bits written so far."""
+        return len(self._bits)
+
+
+class BitReader:
+    """Consumes an unaligned bit stream produced by :class:`BitWriter`."""
+
+    def __init__(self, data: bytes):
+        self._data = data
+        self._pos = 0
+        self._limit = len(data) * 8
+
+    @property
+    def position(self) -> int:
+        """Current bit offset."""
+        return self._pos
+
+    @property
+    def remaining(self) -> int:
+        """Bits left in the buffer (including any final padding)."""
+        return self._limit - self._pos
+
+    def read_bit(self) -> int:
+        """Read one bit."""
+        if self._pos >= self._limit:
+            raise Asn1Error("bit stream exhausted")
+        byte = self._data[self._pos >> 3]
+        bit = (byte >> (7 - (self._pos & 7))) & 1
+        self._pos += 1
+        return bit
+
+    def read_uint(self, width: int) -> int:
+        """Read an unsigned integer of *width* bits."""
+        if width < 0:
+            raise Asn1Error(f"negative width {width}")
+        if self._pos + width > self._limit:
+            raise Asn1Error(
+                f"need {width} bits at offset {self._pos}, "
+                f"only {self.remaining} remain"
+            )
+        value = 0
+        for _ in range(width):
+            value = (value << 1) | self.read_bit()
+        return value
+
+    def read_bytes(self, count: int) -> bytes:
+        """Read *count* raw octets, unaligned."""
+        return bytes(self.read_uint(8) for _ in range(count))
+
+    def read_length(self) -> int:
+        """Read an unconstrained length determinant (X.691 10.9.3)."""
+        first = self.read_uint(8)
+        if first < 128:
+            return first
+        if (first >> 6) == 0b10:
+            return ((first & 0x3F) << 8) | self.read_uint(8)
+        raise Asn1Error("fragmented lengths unsupported")

@@ -1,0 +1,236 @@
+"""Command-line interface: ``repro-testbed``.
+
+Subcommands:
+
+* ``run`` -- one emergency-braking run, printing the step timeline;
+* ``campaign`` -- N runs, printing Table II / Table III / Figure 11;
+* ``blind-corner`` -- the intersection use-case, aided vs onboard;
+* ``platoon`` -- the platooning extension;
+* ``cdf`` -- a latency campaign with distribution fitting.
+
+Examples::
+
+    repro-testbed run --seed 7
+    repro-testbed campaign --runs 10 --secured
+    repro-testbed platoon --interface 5g_leader --members 5
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core import (
+    EmergencyBrakeScenario,
+    ScaleTestbed,
+    Steps,
+    analyse_braking,
+    empirical_distribution,
+    fit_distributions,
+    run_campaign,
+    summarize,
+)
+
+
+def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=1,
+                        help="base random seed")
+    parser.add_argument("--radio", choices=("its_g5", "5g"),
+                        default="its_g5",
+                        help="warning delivery technology")
+    parser.add_argument("--secured", action="store_true",
+                        help="sign/verify messages (TS 103 097)")
+    parser.add_argument("--hazard-mode",
+                        choices=("threshold", "ldm", "predictive"),
+                        default="threshold",
+                        help="hazard trigger rule")
+    parser.add_argument("--poll-interval", type=float, default=0.05,
+                        help="OBU HTTP poll period (s)")
+    parser.add_argument("--start-distance", type=float, default=6.0,
+                        help="vehicle start distance from camera (m)")
+    parser.add_argument("--scenario", default=None, metavar="FILE.json",
+                        help="load the full scenario from a JSON file "
+                             "(other scenario flags are ignored except "
+                             "--seed)")
+
+
+def _scenario_from(args: argparse.Namespace) -> EmergencyBrakeScenario:
+    if args.scenario:
+        from repro.core.scenario import scenario_from_json
+
+        scenario = scenario_from_json(args.scenario)
+        return scenario.with_seed(args.seed)
+    return EmergencyBrakeScenario(
+        seed=args.seed,
+        radio=args.radio,
+        secured=args.secured,
+        hazard_mode=args.hazard_mode,
+        obu_poll_interval=args.poll_interval,
+        start_distance=args.start_distance,
+    )
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    testbed = ScaleTestbed(_scenario_from(args))
+    measurement = testbed.run()
+    print("Step timeline (simulated ground truth):")
+    for step in Steps.ORDER:
+        record = testbed.timeline.get(step)
+        if record is None:
+            print(f"  {step:<24} (not reached)")
+        else:
+            print(f"  {step:<24} t={record.sim_time:9.4f} s")
+    intervals = measurement.intervals_ms()
+    print()
+    print("Intervals (device clocks, ms):")
+    for name, value in intervals.items():
+        print(f"  {name:<24} {value:8.2f}")
+    print()
+    print(f"braking distance: {measurement.braking_distance:.3f} m, "
+          f"final camera distance: "
+          f"{measurement.final_distance_to_camera:.3f} m")
+    # Predictive triggering legitimately stops the vehicle before the
+    # Action Point (step 1 never happens); success = the car halted.
+    return 0 if testbed.timeline.has(Steps.HALTED) else 1
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    result = run_campaign(_scenario_from(args), runs=args.runs,
+                          base_seed=args.seed)
+    table = result.table2()
+    print(f"Table II analogue over {args.runs} runs (ms):")
+    for name, data in table.items():
+        runs = " ".join(f"{v:5.1f}" for v in data["runs"])
+        print(f"  {name:<22} avg={data['avg']:6.2f}  [{runs}]")
+    braking = analyse_braking(result.braking_distances())
+    print()
+    print(f"Table III analogue: mean={braking.mean:.3f} m "
+          f"var={braking.variance:.4f} "
+          f"within vehicle length: {braking.within_vehicle_length}")
+    totals = result.total_delays_ms()
+    xs, fractions = empirical_distribution(totals)
+    print()
+    print("Figure 11 analogue (EDF):")
+    for x, fraction in zip(xs, fractions):
+        print(f"  {x:6.1f} ms -> {fraction:4.2f}")
+    halted = sum(1 for run in result.runs
+                 if run.timeline.has(Steps.HALTED))
+    return 0 if halted == args.runs else 1
+
+
+def cmd_blind_corner(args: argparse.Namespace) -> int:
+    from repro.core.blind_corner import compare_configurations
+
+    aided, onboard = compare_configurations(seed=args.seed)
+    for label, result in (("network-aided", aided),
+                          ("onboard-only", onboard)):
+        outcome = "COLLISION" if result.collision else "avoided"
+        print(f"{label:<14} {outcome:<10} "
+              f"min-separation={result.min_separation:5.2f} m "
+              f"denm={'yes' if result.denm_received else 'no'}")
+    return 0 if (not aided.collision) and onboard.collision else 1
+
+
+def cmd_platoon(args: argparse.Namespace) -> int:
+    from repro.core.platoon import PlatoonScenario, run_platoon
+
+    result = run_platoon(PlatoonScenario(
+        leader_interface=args.interface,
+        members=args.members,
+        seed=args.seed,
+    ))
+    for member, delay in zip(result.members, result.member_delays_ms()):
+        text = f"{delay:6.1f} ms" if delay is not None else "   -"
+        print(f"  member {member.index}: actuated after {text}")
+    print(f"whole platoon: {result.platoon_delay_ms:.1f} ms, "
+          f"min gap {result.min_gap:.2f} m, "
+          f"collisions {result.collisions}")
+    return 0 if result.all_stopped and result.collisions == 0 else 1
+
+
+def cmd_cdf(args: argparse.Namespace) -> int:
+    scenario = _scenario_from(args)
+    result = run_campaign(scenario, runs=args.runs, base_seed=args.seed)
+    totals = result.total_delays_ms()
+    summary = summarize(totals)
+    print(f"n={summary.count} mean={summary.mean:.1f} ms "
+          f"p50={summary.p50:.1f} p90={summary.p90:.1f} "
+          f"max={summary.maximum:.1f}")
+    for fit in fit_distributions(totals):
+        print(f"  {fit.name:<10} AIC={fit.aic:8.1f} "
+              f"KS p={fit.ks_pvalue:.3f}")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.core.report import ReportConfig, write_report
+
+    config = ReportConfig(base_seed=args.seed)
+    if args.quick:
+        config = ReportConfig(
+            table2_runs=3, table3_runs=3,
+            include_blind_corner=False, include_platoon=False,
+            base_seed=args.seed)
+    markdown = write_report(args.output, config)
+    print(markdown)
+    print(f"(written to {args.output})")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-testbed",
+        description="ETSI ITS robotic scale testbed (simulated)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="one emergency-braking run")
+    _add_scenario_arguments(run_parser)
+    run_parser.set_defaults(func=cmd_run)
+
+    campaign_parser = sub.add_parser("campaign",
+                                     help="N-run measurement campaign")
+    _add_scenario_arguments(campaign_parser)
+    campaign_parser.add_argument("--runs", type=int, default=5)
+    campaign_parser.set_defaults(func=cmd_campaign)
+
+    corner_parser = sub.add_parser("blind-corner",
+                                   help="intersection use-case")
+    corner_parser.add_argument("--seed", type=int, default=1)
+    corner_parser.set_defaults(func=cmd_blind_corner)
+
+    platoon_parser = sub.add_parser("platoon",
+                                    help="platooning extension")
+    platoon_parser.add_argument("--seed", type=int, default=1)
+    platoon_parser.add_argument("--members", type=int, default=4)
+    platoon_parser.add_argument("--interface",
+                                choices=("its_g5", "5g_leader"),
+                                default="its_g5")
+    platoon_parser.set_defaults(func=cmd_platoon)
+
+    cdf_parser = sub.add_parser("cdf", help="latency CDF + model fit")
+    _add_scenario_arguments(cdf_parser)
+    cdf_parser.add_argument("--runs", type=int, default=20)
+    cdf_parser.set_defaults(func=cmd_cdf)
+
+    report_parser = sub.add_parser(
+        "report", help="full paper-vs-measured markdown report")
+    report_parser.add_argument("--output", default="report.md",
+                               help="where to write the markdown")
+    report_parser.add_argument("--seed", type=int, default=1)
+    report_parser.add_argument("--quick", action="store_true",
+                               help="fewer runs, skip extensions")
+    report_parser.set_defaults(func=cmd_report)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

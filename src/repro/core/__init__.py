@@ -1,0 +1,74 @@
+"""The testbed core: scenario assembly and end-to-end measurement.
+
+This package is the paper's contribution: a laboratory testbed that
+characterises the *entire* detection-to-action delay of a
+network-aided safety function, not just the communication hop.
+
+* :mod:`repro.core.measurement` -- the step-1..6 timeline of Figure 4
+  and interval computation (Table II's rows);
+* :mod:`repro.core.scenario` -- experiment geometry and parameters;
+* :mod:`repro.core.testbed` -- the assembled emergency-braking
+  testbed (Figure 8) and the campaign runner;
+* :mod:`repro.core.latency` -- empirical distribution functions
+  (Figure 11), summary statistics, distribution fitting;
+* :mod:`repro.core.braking` -- braking-distance analysis (Table III)
+  and the scale -> full-size mapping model;
+* :mod:`repro.core.blind_corner` -- the blind-corner intersection
+  with the onboard-only baseline (the use-case's motivation);
+* :mod:`repro.core.platoon` -- the platooning / multi-technology
+  future-work extension.
+"""
+
+from repro.core.measurement import RunMeasurement, StepTimeline, Steps
+from repro.core.scenario import EmergencyBrakeScenario
+from repro.core.testbed import CampaignResult, ScaleTestbed, run_campaign
+from repro.core.latency import (
+    DistributionFit,
+    LatencySummary,
+    empirical_distribution,
+    fit_distributions,
+    summarize,
+)
+from repro.core.braking import (
+    BrakingAnalysis,
+    FullScaleVehicle,
+    analyse_braking,
+    froude_scale_distance,
+    full_scale_braking_distance,
+)
+from repro.core.blind_corner import (
+    BlindCornerScenario,
+    BlindCornerTestbed,
+    compare_configurations,
+)
+from repro.core.platoon import PlatoonScenario, PlatoonTestbed, run_platoon
+from repro.core.report import ReportConfig, generate_report, write_report
+
+__all__ = [
+    "BlindCornerScenario",
+    "BlindCornerTestbed",
+    "BrakingAnalysis",
+    "CampaignResult",
+    "PlatoonScenario",
+    "PlatoonTestbed",
+    "ReportConfig",
+    "compare_configurations",
+    "generate_report",
+    "run_platoon",
+    "write_report",
+    "DistributionFit",
+    "EmergencyBrakeScenario",
+    "FullScaleVehicle",
+    "LatencySummary",
+    "RunMeasurement",
+    "ScaleTestbed",
+    "StepTimeline",
+    "Steps",
+    "analyse_braking",
+    "empirical_distribution",
+    "fit_distributions",
+    "froude_scale_distance",
+    "full_scale_braking_distance",
+    "run_campaign",
+    "summarize",
+]

@@ -1,0 +1,144 @@
+"""Braking-distance analysis (Table III) and full-scale mapping.
+
+Table III reports the distance travelled from detection to halt over
+seven runs (avg 0.36 m, variance 0.0022 -- less than the 0.53 m
+vehicle length).  The paper's outlook asks for models that "map
+braking distances observed in the testbed to real-world ones" using
+full-size parameters (stopping power, weight, frontal area); this
+module provides both a physics-based full-scale braking model and the
+Froude dynamic-similarity scaling between the 1/10 testbed and a
+full-size vehicle.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Sequence
+
+import numpy as np
+
+#: Gravitational acceleration (m/s^2).
+GRAVITY = 9.81
+
+#: The testbed's geometric scale factor.
+SCALE_FACTOR = 10.0
+
+
+@dataclasses.dataclass(frozen=True)
+class BrakingAnalysis:
+    """Summary of a braking-distance population."""
+
+    count: int
+    mean: float
+    variance: float
+    minimum: float
+    maximum: float
+    #: Whether every run stopped within one vehicle length.
+    within_vehicle_length: bool
+    vehicle_length: float
+
+
+def analyse_braking(distances: Sequence[float],
+                    vehicle_length: float = 0.53) -> BrakingAnalysis:
+    """Table III's summary row for a set of braking distances."""
+    data = np.asarray(list(distances), dtype=float)
+    if data.size == 0:
+        raise ValueError("no braking distances to analyse")
+    return BrakingAnalysis(
+        count=int(data.size),
+        mean=float(data.mean()),
+        variance=float(data.var(ddof=0)),
+        minimum=float(data.min()),
+        maximum=float(data.max()),
+        within_vehicle_length=bool((data < vehicle_length).all()),
+        vehicle_length=vehicle_length,
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class FullScaleVehicle:
+    """Parameters of a full-size vehicle for the mapping model."""
+
+    mass: float = 1500.0              # kg
+    frontal_area: float = 2.2         # m^2
+    drag_coefficient: float = 0.30    # dimensionless Cd
+    friction_mu: float = 0.8          # tyre-road friction
+    #: Brake-system response time before full force (s).
+    brake_actuation_delay: float = 0.15
+
+    @property
+    def max_deceleration(self) -> float:
+        """Friction-limited deceleration (m/s^2)."""
+        return self.friction_mu * GRAVITY
+
+
+#: Air density at sea level (kg/m^3).
+AIR_DENSITY = 1.225
+
+
+def full_scale_braking_distance(
+    vehicle: FullScaleVehicle,
+    speed: float,
+    reaction_time: float = 0.0,
+) -> float:
+    """Stopping distance (m) of a full-size vehicle from *speed* (m/s).
+
+    Integrates ``m dv/dt = -mu m g - 0.5 rho Cd A v^2`` (closed form)
+    and adds the distance covered during *reaction_time* plus the
+    brake actuation delay -- the role the network-aided warning
+    latency plays at full scale.
+    """
+    if speed < 0:
+        raise ValueError(f"speed must be non-negative, got {speed}")
+    delay = reaction_time + vehicle.brake_actuation_delay
+    reaction_distance = speed * delay
+    if speed == 0:
+        return reaction_distance
+    # Closed form with quadratic drag:
+    #   d = (m / (rho Cd A)) * ln(1 + rho Cd A v^2 / (2 mu m g))
+    k = AIR_DENSITY * vehicle.drag_coefficient * vehicle.frontal_area
+    mu_mg = vehicle.friction_mu * vehicle.mass * GRAVITY
+    if k <= 0:
+        braking = speed * speed / (2.0 * vehicle.max_deceleration)
+    else:
+        braking = (vehicle.mass / k) * math.log(
+            1.0 + k * speed * speed / (2.0 * mu_mg))
+    return reaction_distance + braking
+
+
+def froude_scale_distance(testbed_distance: float,
+                          scale: float = SCALE_FACTOR) -> float:
+    """Map a testbed distance to full scale by Froude similarity.
+
+    Under Froude scaling (matching the ratio of inertial to
+    gravitational forces), lengths scale by ``scale`` and speeds by
+    ``sqrt(scale)``; a 0.36 m stop at 1/10 corresponds to a 3.6 m
+    stop at full size from ``sqrt(10)`` times the speed.
+    """
+    if scale <= 0:
+        raise ValueError(f"scale must be positive, got {scale}")
+    return testbed_distance * scale
+
+
+def froude_scale_speed(testbed_speed: float,
+                       scale: float = SCALE_FACTOR) -> float:
+    """The full-scale speed corresponding to a testbed speed."""
+    if scale <= 0:
+        raise ValueError(f"scale must be positive, got {scale}")
+    return testbed_speed * math.sqrt(scale)
+
+
+def equivalent_friction(testbed_distance: float, testbed_speed: float,
+                        latency: float = 0.0) -> float:
+    """Back out the effective friction coefficient from a stop.
+
+    Useful for relating the scale car's observed stopping power to
+    full-size tyres: ``mu = v^2 / (2 g (d - v t_lat))``.
+    """
+    braking = testbed_distance - testbed_speed * latency
+    if braking <= 0:
+        raise ValueError(
+            f"distance {testbed_distance} is covered entirely by the "
+            f"latency gap ({testbed_speed * latency:.3f} m)")
+    return testbed_speed * testbed_speed / (2.0 * GRAVITY * braking)

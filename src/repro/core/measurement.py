@@ -1,0 +1,189 @@
+"""The step-1..6 measurement timeline (paper Figure 4 / Section IV-A).
+
+The six steps of the chain of action:
+
+1. the vehicle reaches the Action Point;
+2. YOLO outputs an identification of the vehicle at the Action Point;
+3. the RSU sends the DEN message;
+4. the OBU receives the DEN message;
+5. power to the wheels is cut (command to the actuators);
+6. the vehicle comes to a halt.
+
+Steps 2-5 are timestamped on four *different devices* using their
+NTP-disciplined clocks, exactly like the paper; step 1 and 6 are
+physical-world observations (ground truth here, video frames there).
+Intervals are computed from the device-clock timestamps, so they
+inherit the residual synchronisation error -- the same measurement
+artefact the original numbers carry.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Any, Dict, Optional
+
+
+class Steps:
+    """Step names, in chain order."""
+
+    ACTION_POINT = "step1_action_point"
+    DETECTION = "step2_detection"
+    RSU_SENT = "step3_rsu_sent"
+    OBU_RECEIVED = "step4_obu_received"
+    ACTUATORS = "step5_actuators"
+    HALTED = "step6_halted"
+
+    ORDER = (ACTION_POINT, DETECTION, RSU_SENT, OBU_RECEIVED,
+             ACTUATORS, HALTED)
+
+
+@dataclasses.dataclass
+class StepRecord:
+    """One timestamped step."""
+
+    step: str
+    clock_time: Optional[float]   # device clock reading (may be None)
+    sim_time: float               # ground-truth simulated time
+    detail: Dict[str, Any] = dataclasses.field(default_factory=dict)
+
+
+class StepTimeline:
+    """Collects step records during one run."""
+
+    def __init__(self) -> None:
+        self._records: Dict[str, StepRecord] = {}
+
+    def record(self, step: str, sim_time: float,
+               clock_time: Optional[float] = None,
+               **detail: Any) -> None:
+        """Record *step* (first occurrence wins)."""
+        if step in self._records:
+            return
+        self._records[step] = StepRecord(
+            step=step, clock_time=clock_time, sim_time=sim_time,
+            detail=dict(detail))
+
+    def get(self, step: str) -> Optional[StepRecord]:
+        """The record for *step*, or None."""
+        return self._records.get(step)
+
+    def has(self, step: str) -> bool:
+        """Whether *step* was recorded."""
+        return step in self._records
+
+    @property
+    def complete(self) -> bool:
+        """Whether every step of the chain was recorded."""
+        return all(step in self._records for step in Steps.ORDER)
+
+    def interval(self, start: str, end: str,
+                 use_clock: bool = True) -> Optional[float]:
+        """Elapsed seconds between two steps.
+
+        With ``use_clock`` the device-clock timestamps are used (the
+        paper's methodology); otherwise ground-truth simulated time.
+        """
+        a = self._records.get(start)
+        b = self._records.get(end)
+        if a is None or b is None:
+            return None
+        if use_clock and a.clock_time is not None \
+                and b.clock_time is not None:
+            return b.clock_time - a.clock_time
+        return b.sim_time - a.sim_time
+
+
+@dataclasses.dataclass
+class RunMeasurement:
+    """The outcome of one emergency-braking run (one column of
+    Table II + one of Table III)."""
+
+    run_id: int
+    timeline: StepTimeline
+    #: Vehicle speed when it crossed the Action Point (m/s).
+    speed_at_action_point: float = 0.0
+    #: True distance to the camera when YOLO detected (m).
+    detection_distance: float = 0.0
+    #: Estimated distance YOLO reported (m).
+    estimated_distance: float = 0.0
+    #: Distance travelled from detection (step 2) to halt (m).
+    braking_distance: float = 0.0
+    #: Distance travelled from the Action Point (step 1) to halt (m).
+    distance_from_action_point: float = 0.0
+    #: Final camera-to-vehicle distance, the tape-measure reading (m).
+    final_distance_to_camera: float = 0.0
+    completed: bool = False
+
+    # ------------------------------------------------------------------
+    # Table II's rows
+    # ------------------------------------------------------------------
+
+    def detection_to_send(self, use_clock: bool = True) -> Optional[float]:
+        """Step 2 -> 3: YOLO output to RSU DENM transmission (s)."""
+        return self.timeline.interval(Steps.DETECTION, Steps.RSU_SENT,
+                                      use_clock)
+
+    def send_to_receive(self, use_clock: bool = True) -> Optional[float]:
+        """Step 3 -> 4: the radio hop, RSU send to OBU receive (s)."""
+        return self.timeline.interval(Steps.RSU_SENT, Steps.OBU_RECEIVED,
+                                      use_clock)
+
+    def receive_to_actuation(self, use_clock: bool = True,
+                             ) -> Optional[float]:
+        """Step 4 -> 5: OBU receive to actuator command (s)."""
+        return self.timeline.interval(Steps.OBU_RECEIVED, Steps.ACTUATORS,
+                                      use_clock)
+
+    def total_delay(self, use_clock: bool = True) -> Optional[float]:
+        """Step 2 -> 5: the paper's 'Total Delay' row (s)."""
+        return self.timeline.interval(Steps.DETECTION, Steps.ACTUATORS,
+                                      use_clock)
+
+    def detection_to_halt(self) -> Optional[float]:
+        """Step 2 -> 6 in ground truth (the video-frame measurement)."""
+        return self.timeline.interval(Steps.DETECTION, Steps.HALTED,
+                                      use_clock=False)
+
+    def action_point_to_halt(self) -> Optional[float]:
+        """Step 1 -> 6 in ground truth (s)."""
+        return self.timeline.interval(Steps.ACTION_POINT, Steps.HALTED,
+                                      use_clock=False)
+
+    def intervals_ms(self, use_clock: bool = True) -> Dict[str, float]:
+        """All Table II intervals in milliseconds (missing -> NaN)."""
+        def ms(value: Optional[float]) -> float:
+            return float("nan") if value is None else value * 1000.0
+
+        return {
+            "detection_to_send": ms(self.detection_to_send(use_clock)),
+            "send_to_receive": ms(self.send_to_receive(use_clock)),
+            "receive_to_actuation": ms(
+                self.receive_to_actuation(use_clock)),
+            "total": ms(self.total_delay(use_clock)),
+        }
+
+
+def video_frame_interval(
+    timeline: StepTimeline,
+    start: str,
+    end: str,
+    fps: float,
+) -> Optional[float]:
+    """The Figure-10 measurement: interval as read off video frames.
+
+    Both step instants are quantised to the *next* frame boundary of a
+    camera recording at *fps* (an event becomes visible on the first
+    frame captured after it happens), so the result carries the
+    +-(1/fps) error margin the paper notes.
+    """
+    a = timeline.get(start)
+    b = timeline.get(end)
+    if a is None or b is None:
+        return None
+    period = 1.0 / fps
+
+    def to_frame(t: float) -> float:
+        return math.ceil(t / period) * period
+
+    return to_frame(b.sim_time) - to_frame(a.sim_time)

@@ -1,0 +1,41 @@
+"""ETSI ITS Facilities layer.
+
+The facilities sit between GeoNetworking/BTP and the applications:
+
+* :mod:`repro.facilities.ca_service` -- Cooperative Awareness basic
+  service with the EN 302 637-2 adaptive generation rules;
+* :mod:`repro.facilities.den_service` -- Decentralized Environmental
+  Notification basic service (trigger / update / cancel, repetition);
+* :mod:`repro.facilities.ldm` -- the Local Dynamic Map store with
+  area/type queries and subscriptions;
+* :mod:`repro.facilities.station` -- an assembled ITS station (clock,
+  NIC, router, CA, DEN, LDM), the building block for OBUs and RSUs.
+"""
+
+from repro.facilities.ldm import Ldm, LdmObject, ObjectKind
+from repro.facilities.ca_service import CaBasicService, CaConfig, StationState
+from repro.facilities.den_service import DenBasicService, DenConfig
+from repro.facilities.station import ItsStation, SIM_EPOCH_UNIX
+from repro.facilities.traffic_light import (
+    SignalPhase,
+    SignalPhaseService,
+    TrafficLightController,
+    two_phase_plan,
+)
+
+__all__ = [
+    "CaBasicService",
+    "CaConfig",
+    "DenBasicService",
+    "DenConfig",
+    "ItsStation",
+    "Ldm",
+    "LdmObject",
+    "ObjectKind",
+    "SIM_EPOCH_UNIX",
+    "SignalPhase",
+    "SignalPhaseService",
+    "StationState",
+    "TrafficLightController",
+    "two_phase_plan",
+]

@@ -1,0 +1,136 @@
+"""GLOSA: Green Light Optimal Speed Advisory.
+
+Built on SPATEM/MAPEM: instead of braking at a red light (the
+red-light assist), the vehicle adjusts speed *ahead of time* so it
+arrives while the signal is green -- fewer full stops, smoother
+approach.  The advisor is a pure function over (distance, speed,
+movement state); :class:`CycleEstimator` learns the intersection's
+phase durations from the SPATEM stream so the advisor can aim for the
+*next* green when the current window is unreachable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import defaultdict
+from typing import Dict, List, Optional, Tuple
+
+from repro.messages.spat import MovementState
+
+
+@dataclasses.dataclass(frozen=True)
+class GlosaAdvice:
+    """What the advisor recommends."""
+
+    target_speed: float
+    reason: str       # "cruise" | "catch_green" | "slow_for_green" | "stop"
+
+    @property
+    def requires_stop(self) -> bool:
+        """Whether no green window is reachable and a stop is advised."""
+        return self.reason == "stop"
+
+
+class CycleEstimator:
+    """Learns per-signal-group phase durations from observed SPATEMs.
+
+    Feed every received movement state through :meth:`observe`; once a
+    full go->stop->go cycle has been seen, :meth:`red_duration` /
+    :meth:`green_duration` return running averages.
+    """
+
+    def __init__(self) -> None:
+        self._current: Dict[int, Tuple[str, float]] = {}
+        self._durations: Dict[Tuple[int, str], List[float]] = \
+            defaultdict(list)
+
+    def observe(self, signal_group: int, movement: MovementState,
+                now: float) -> None:
+        """Record the movement state seen at *now*."""
+        kind = ("go" if movement.is_go
+                else "stop" if movement.is_stop else "transition")
+        current = self._current.get(signal_group)
+        if current is None:
+            self._current[signal_group] = (kind, now)
+            return
+        previous_kind, entered_at = current
+        if kind != previous_kind:
+            if previous_kind in ("go", "stop"):
+                self._durations[(signal_group, previous_kind)].append(
+                    now - entered_at)
+            self._current[signal_group] = (kind, now)
+
+    def _mean(self, signal_group: int, kind: str) -> Optional[float]:
+        values = self._durations.get((signal_group, kind))
+        if not values:
+            return None
+        return sum(values[-8:]) / len(values[-8:])
+
+    def red_duration(self, signal_group: int) -> Optional[float]:
+        """Mean observed red duration (s), or None before one cycle."""
+        return self._mean(signal_group, "stop")
+
+    def green_duration(self, signal_group: int) -> Optional[float]:
+        """Mean observed green duration (s), or None before one cycle."""
+        return self._mean(signal_group, "go")
+
+
+def advise(
+    distance: float,
+    speed: float,
+    movement: MovementState,
+    v_max: float = 1.5,
+    v_min: float = 0.4,
+    red_estimate: Optional[float] = None,
+    margin: float = 0.5,
+) -> GlosaAdvice:
+    """Speed advice for a vehicle *distance* metres from the stop line.
+
+    Args:
+        distance: metres to the stop line (positive = not yet there).
+        speed: current speed (m/s).
+        movement: the live state of the governing signal group.
+        v_max: the road's / platform's speed ceiling.
+        v_min: slowest useful crawl; below this, stopping is cleaner.
+        red_estimate: expected red duration if the current green is
+            missed (from :class:`CycleEstimator`); None disables
+            next-window aiming.
+        margin: seconds of safety margin inside the target window.
+    """
+    if distance <= 0:
+        return GlosaAdvice(v_max, "cruise")
+    remaining = max(0.0, movement.min_end_seconds)
+    if movement.is_go:
+        eta_at_max = distance / v_max
+        if eta_at_max + margin <= remaining:
+            # The current green is reachable at full speed.
+            return GlosaAdvice(v_max, "cruise")
+        # Aim for the next green window instead.
+        if red_estimate is None:
+            return GlosaAdvice(v_max, "cruise")  # try our luck
+        next_green_opens = remaining + red_estimate
+        target = distance / (next_green_opens + margin)
+        if target < v_min:
+            return GlosaAdvice(0.0, "stop")
+        return GlosaAdvice(min(v_max, target), "slow_for_green")
+    if movement.is_stop:
+        # Arrive just after the red ends.
+        window_opens = remaining + margin
+        if window_opens <= 0:
+            return GlosaAdvice(v_max, "cruise")
+        target = distance / window_opens
+        if target > v_max:
+            # Even at full speed we arrive during red: plan to stop.
+            return GlosaAdvice(0.0, "stop")
+        if target < v_min:
+            return GlosaAdvice(v_min, "slow_for_green")
+        return GlosaAdvice(target, "catch_green")
+    # Transitional states (yellow/clearance): the green is over; aim
+    # for the next one (yellow remaining + the red behind it).
+    if red_estimate is None:
+        return GlosaAdvice(v_min, "slow_for_green")
+    window_opens = remaining + red_estimate + margin
+    target = distance / window_opens
+    if target < v_min:
+        return GlosaAdvice(v_min, "slow_for_green")
+    return GlosaAdvice(min(v_max, target), "slow_for_green")

@@ -1,0 +1,88 @@
+"""Geodetic positions and the testbed's local metric frame.
+
+The robotic testbed lives in a laboratory measured in metres, while
+ETSI ITS messages carry WGS-84 coordinates.  :class:`LocalFrame`
+anchors a flat local (x, y) frame at a reference geodetic point (the
+lab's location) using an equirectangular approximation, exact to
+millimetres over tens of metres.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Tuple
+
+#: Mean Earth radius (m).
+EARTH_RADIUS = 6_371_008.8
+
+
+@dataclasses.dataclass(frozen=True)
+class GeoPosition:
+    """A WGS-84 position in degrees."""
+
+    latitude: float
+    longitude: float
+
+    def distance_to(self, other: "GeoPosition") -> float:
+        """Great-circle distance in metres."""
+        return haversine_distance(self, other)
+
+
+def haversine_distance(a: GeoPosition, b: GeoPosition) -> float:
+    """Great-circle distance between two positions (m)."""
+    lat1, lon1 = math.radians(a.latitude), math.radians(a.longitude)
+    lat2, lon2 = math.radians(b.latitude), math.radians(b.longitude)
+    d_lat = lat2 - lat1
+    d_lon = lon2 - lon1
+    h = (math.sin(d_lat / 2.0) ** 2
+         + math.cos(lat1) * math.cos(lat2) * math.sin(d_lon / 2.0) ** 2)
+    return 2.0 * EARTH_RADIUS * math.asin(math.sqrt(h))
+
+
+@dataclasses.dataclass(frozen=True)
+class LocalFrame:
+    """A flat metric frame anchored at a geodetic origin.
+
+    ``x`` grows eastwards, ``y`` northwards.  The default origin is the
+    CISTER lab in Porto, matching the paper's venue -- any origin works,
+    it only anchors the coordinates carried in CAM/DENM fields.
+    """
+
+    origin: GeoPosition = GeoPosition(41.17867, -8.60782)
+
+    def to_geo(self, x: float, y: float) -> GeoPosition:
+        """Local metres -> geodetic degrees."""
+        lat0 = math.radians(self.origin.latitude)
+        d_lat = (y / EARTH_RADIUS) * (180.0 / math.pi)
+        d_lon = (x / (EARTH_RADIUS * math.cos(lat0))) * (180.0 / math.pi)
+        return GeoPosition(self.origin.latitude + d_lat,
+                           self.origin.longitude + d_lon)
+
+    def to_local(self, position: GeoPosition) -> Tuple[float, float]:
+        """Geodetic degrees -> local metres."""
+        lat0 = math.radians(self.origin.latitude)
+        d_lat = math.radians(position.latitude - self.origin.latitude)
+        d_lon = math.radians(position.longitude - self.origin.longitude)
+        return (d_lon * EARTH_RADIUS * math.cos(lat0),
+                d_lat * EARTH_RADIUS)
+
+
+@dataclasses.dataclass(frozen=True)
+class PositionVector:
+    """A GeoNetworking long position vector.
+
+    Carried in every GN header: the sender's address, when the position
+    was taken, where, and the movement state.
+    """
+
+    gn_address: str
+    timestamp: float          # seconds (station clock)
+    position: GeoPosition
+    speed: float = 0.0        # m/s
+    heading: float = 0.0      # degrees clockwise from north
+    position_accuracy: bool = True
+
+    def is_fresher_than(self, other: "PositionVector") -> bool:
+        """Whether this vector supersedes *other* for the same address."""
+        return self.timestamp > other.timestamp

@@ -1,0 +1,61 @@
+"""ETSI ITS message types: CAM and DENM.
+
+The ASN.1 schemas are translated by hand from EN 302 637-2 (CAM),
+EN 302 637-3 (DENM) and the common data dictionary TS 102 894-2, using
+the :mod:`repro.asn1` UPER codec.  A convenience dataclass layer
+(:class:`~repro.messages.cam.Cam`, :class:`~repro.messages.denm.Denm`)
+offers SI-unit constructors, mirroring how OpenC2X applications build
+messages.
+"""
+
+from repro.messages.cause_codes import (
+    CauseCode,
+    CAUSE_CODE_REGISTRY,
+    SubCause,
+    describe_event,
+    lookup_cause,
+)
+from repro.messages.common import (
+    ItsPduHeader,
+    MessageId,
+    ReferencePosition,
+    StationType,
+    its_timestamp,
+    from_its_timestamp,
+)
+from repro.messages.cam import CAM_PDU, Cam
+from repro.messages.denm import DENM_PDU, ActionId, Denm, EventType
+from repro.messages.spat import (
+    Lane,
+    MAPEM_PDU,
+    Mapem,
+    MovementState,
+    SPATEM_PDU,
+    Spatem,
+)
+
+__all__ = [
+    "ActionId",
+    "CAM_PDU",
+    "Cam",
+    "Lane",
+    "MAPEM_PDU",
+    "Mapem",
+    "MovementState",
+    "SPATEM_PDU",
+    "Spatem",
+    "CauseCode",
+    "CAUSE_CODE_REGISTRY",
+    "DENM_PDU",
+    "Denm",
+    "EventType",
+    "ItsPduHeader",
+    "MessageId",
+    "ReferencePosition",
+    "StationType",
+    "SubCause",
+    "describe_event",
+    "lookup_cause",
+    "its_timestamp",
+    "from_its_timestamp",
+]

@@ -1,0 +1,258 @@
+"""DENM cause-code registry (EN 302 637-3, Table 10; paper's Table I).
+
+The registry carries the *direct cause codes* and, for the codes the
+paper highlights (Table I), their sub-cause tables.  The collision
+avoidance application uses:
+
+* code 94 ``stationaryVehicle`` -- a stopped vehicle detected on the road;
+* code 10 ``hazardousLocation-ObstacleOnTheRoad`` -- an obstacle that can
+  include a stopped vehicle;
+* code 97 ``collisionRisk`` -- imminent collision (the DENM our edge
+  node issues when the protagonist keeps approaching);
+* code 99 ``dangerousSituation`` -- e.g. emergency electronic brake
+  lights / AEB activated.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Tuple
+
+
+@dataclasses.dataclass(frozen=True)
+class SubCause:
+    """One row of a sub-cause table."""
+
+    code: int
+    description: str
+
+
+@dataclasses.dataclass(frozen=True)
+class CauseCode:
+    """A direct cause code with its sub-cause table."""
+
+    code: int
+    name: str
+    description: str
+    sub_causes: Tuple[SubCause, ...] = ()
+
+    def sub_cause(self, sub_code: int) -> Optional[SubCause]:
+        """The :class:`SubCause` for *sub_code*, or None if unlisted."""
+        for sub in self.sub_causes:
+            if sub.code == sub_code:
+                return sub
+        return None
+
+
+_UNAVAILABLE = SubCause(0, "Unavailable")
+
+
+def _cc(code: int, name: str, description: str,
+        subs: Tuple[SubCause, ...] = ()) -> CauseCode:
+    return CauseCode(code, name, description, (_UNAVAILABLE,) + subs)
+
+
+#: All direct cause codes of EN 302 637-3 Table 10 relevant to the
+#: basic set of applications, keyed by numeric code.
+CAUSE_CODE_REGISTRY: Dict[int, CauseCode] = {
+    cc.code: cc
+    for cc in (
+        _cc(0, "reserved", "Reserved for future usage"),
+        _cc(1, "trafficCondition", "Traffic condition", (
+            SubCause(1, "Increased volume of traffic"),
+            SubCause(2, "Traffic jam slowly increasing"),
+            SubCause(3, "Traffic jam increasing"),
+            SubCause(4, "Traffic jam strongly increasing"),
+            SubCause(5, "Traffic stationary"),
+            SubCause(6, "Traffic jam slightly decreasing"),
+            SubCause(7, "Traffic jam decreasing"),
+            SubCause(8, "Traffic jam strongly decreasing"),
+        )),
+        _cc(2, "accident", "Accident", (
+            SubCause(1, "Multi-vehicle accident"),
+            SubCause(2, "Heavy accident"),
+            SubCause(3, "Accident involving lorry"),
+            SubCause(4, "Accident involving bus"),
+            SubCause(5, "Accident involving hazardous materials"),
+            SubCause(6, "Accident on opposite lane"),
+            SubCause(7, "Unsecured accident"),
+            SubCause(8, "Assistance requested"),
+        )),
+        _cc(3, "roadworks", "Roadworks", (
+            SubCause(1, "Major roadworks"),
+            SubCause(2, "Road marking work"),
+            SubCause(3, "Slow moving road maintenance"),
+            SubCause(4, "Short-term stationary roadworks"),
+            SubCause(5, "Street cleaning"),
+            SubCause(6, "Winter service"),
+        )),
+        _cc(6, "adverseWeatherCondition-Adhesion",
+            "Adverse weather condition - adhesion"),
+        _cc(9, "hazardousLocation-SurfaceCondition",
+            "Hazardous location - Surface condition", tuple(
+                SubCause(i, f"As specified in tec109 of clause 9.18 in "
+                            f"TISA TAWG11071 (value {i})")
+                for i in range(1, 10)
+            )),
+        _cc(10, "hazardousLocation-ObstacleOnTheRoad",
+            "Hazardous location - Obstacle on the road", tuple(
+                SubCause(i, f"As specified in tec110 of clause 9.19 in "
+                            f"TISA TAWG11071 (value {i})")
+                for i in range(1, 8)
+            )),
+        _cc(11, "hazardousLocation-AnimalOnTheRoad",
+            "Hazardous location - Animal on the road", (
+                SubCause(1, "Wild animals"),
+                SubCause(2, "Herd of animals"),
+                SubCause(3, "Small animals"),
+                SubCause(4, "Large animals"),
+            )),
+        _cc(12, "humanPresenceOnTheRoad", "Human presence on the road", (
+            SubCause(1, "Children on roadway"),
+            SubCause(2, "Cyclist on roadway"),
+            SubCause(3, "Motorcyclist on roadway"),
+        )),
+        _cc(14, "wrongWayDriving", "Wrong way driving", (
+            SubCause(1, "Wrong lane driving"),
+            SubCause(2, "Wrong direction driving"),
+        )),
+        _cc(15, "rescueAndRecoveryWorkInProgress",
+            "Rescue and recovery work in progress", (
+                SubCause(1, "Emergency vehicles"),
+                SubCause(2, "Rescue helicopter landing"),
+                SubCause(3, "Police activity ongoing"),
+                SubCause(4, "Medical emergency ongoing"),
+                SubCause(5, "Child abduction in progress"),
+            )),
+        _cc(17, "adverseWeatherCondition-ExtremeWeatherCondition",
+            "Adverse weather condition - extreme weather", (
+                SubCause(1, "Strong winds"),
+                SubCause(2, "Damaging hail"),
+                SubCause(3, "Hurricane"),
+                SubCause(4, "Thunderstorm"),
+                SubCause(5, "Tornado"),
+                SubCause(6, "Blizzard"),
+            )),
+        _cc(18, "adverseWeatherCondition-Visibility",
+            "Adverse weather condition - visibility", (
+                SubCause(1, "Fog"),
+                SubCause(2, "Smoke"),
+                SubCause(3, "Heavy snowfall"),
+                SubCause(4, "Heavy rain"),
+                SubCause(5, "Heavy hail"),
+                SubCause(6, "Low sun glare"),
+                SubCause(7, "Sandstorms"),
+                SubCause(8, "Swarms of insects"),
+            )),
+        _cc(19, "adverseWeatherCondition-Precipitation",
+            "Adverse weather condition - precipitation", (
+                SubCause(1, "Heavy rain"),
+                SubCause(2, "Heavy snowfall"),
+                SubCause(3, "Soft hail"),
+            )),
+        _cc(26, "slowVehicle", "Slow vehicle", (
+            SubCause(1, "Maintenance vehicle"),
+            SubCause(2, "Vehicles slowing to look at accident"),
+            SubCause(3, "Abnormal load"),
+            SubCause(4, "Abnormal wide load"),
+            SubCause(5, "Convoy"),
+            SubCause(6, "Snowplough"),
+            SubCause(7, "Deicing"),
+            SubCause(8, "Salting vehicles"),
+        )),
+        _cc(27, "dangerousEndOfQueue", "Dangerous end of queue", (
+            SubCause(1, "Sudden end of queue"),
+            SubCause(2, "Queue over hill"),
+            SubCause(3, "Queue around bend"),
+            SubCause(4, "Queue in tunnel"),
+        )),
+        _cc(91, "vehicleBreakdown", "Vehicle breakdown", (
+            SubCause(1, "Lack of fuel"),
+            SubCause(2, "Lack of battery power"),
+            SubCause(3, "Engine problem"),
+            SubCause(4, "Transmission problem"),
+            SubCause(5, "Engine cooling problem"),
+            SubCause(6, "Braking system problem"),
+            SubCause(7, "Steering problem"),
+            SubCause(8, "Tyre puncture"),
+        )),
+        _cc(92, "postCrash", "Post crash", (
+            SubCause(1, "Accident without e-call triggered"),
+            SubCause(2, "Accident with e-call manually triggered"),
+            SubCause(3, "Accident with e-call automatically triggered"),
+            SubCause(4, "Accident with e-call triggered, no access to "
+                        "cellular network"),
+        )),
+        _cc(93, "humanProblem", "Human problem", (
+            SubCause(1, "Glycemia problem"),
+            SubCause(2, "Heart problem"),
+        )),
+        _cc(94, "stationaryVehicle", "Stationary vehicle", (
+            SubCause(1, "Human problem"),
+            SubCause(2, "Vehicle breakdown"),
+            SubCause(3, "Post crash"),
+            SubCause(4, "Public transport stop"),
+            SubCause(5, "Carrying dangerous goods"),
+        )),
+        _cc(95, "emergencyVehicleApproaching",
+            "Emergency vehicle approaching", (
+                SubCause(1, "Emergency vehicle approaching"),
+                SubCause(2, "Prioritized vehicle approaching"),
+            )),
+        _cc(96, "hazardousLocation-DangerousCurve",
+            "Hazardous location - Dangerous curve", (
+                SubCause(1, "Dangerous left turn curve"),
+                SubCause(2, "Dangerous right turn curve"),
+                SubCause(3, "Multiple curves starting with unknown turning "
+                            "direction"),
+                SubCause(4, "Multiple curves starting with left turn"),
+                SubCause(5, "Multiple curves starting with right turn"),
+            )),
+        _cc(97, "collisionRisk", "Collision Risk", (
+            SubCause(1, "Longitudinal collision risk"),
+            SubCause(2, "Crossing collision risk"),
+            SubCause(3, "Lateral collision risk"),
+            SubCause(4, "Collision risk involving vulnerable road-user"),
+        )),
+        _cc(98, "signalViolation", "Signal violation", (
+            SubCause(1, "Stop sign violation"),
+            SubCause(2, "Traffic light violation"),
+            SubCause(3, "Turning regulation violation"),
+        )),
+        _cc(99, "dangerousSituation", "Dangerous Situation", (
+            SubCause(1, "Emergency electronic brake lights"),
+            SubCause(2, "Pre-crash system activated"),
+            SubCause(3, "ESP (Electronic Stability Program) activated"),
+            SubCause(4, "ABS (Anti-lock braking system) activated"),
+            SubCause(5, "AEB (Automatic Emergency Braking) activated"),
+            SubCause(6, "Brake warning activated"),
+            SubCause(7, "Collision risk warning activated"),
+        )),
+    )
+}
+
+#: Codes the collision avoidance application emits.
+COLLISION_RISK = 97
+STATIONARY_VEHICLE = 94
+OBSTACLE_ON_ROAD = 10
+DANGEROUS_SITUATION = 99
+
+#: Sub-causes used by the use-case.
+CROSSING_COLLISION_RISK = 2
+LONGITUDINAL_COLLISION_RISK = 1
+
+
+def lookup_cause(code: int) -> Optional[CauseCode]:
+    """The :class:`CauseCode` for *code*, or None if unregistered."""
+    return CAUSE_CODE_REGISTRY.get(code)
+
+
+def describe_event(cause_code: int, sub_cause_code: int = 0) -> str:
+    """Human-readable description of a (causeCode, subCauseCode) pair."""
+    cause = lookup_cause(cause_code)
+    if cause is None:
+        return f"Unknown cause code {cause_code}"
+    sub = cause.sub_cause(sub_cause_code)
+    if sub is None:
+        return f"{cause.description} (sub-cause {sub_cause_code} unlisted)"
+    return f"{cause.description}: {sub.description}"

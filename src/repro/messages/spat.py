@@ -1,0 +1,308 @@
+"""SPATEM / MAPEM: signal phase & timing and intersection topology.
+
+The LDM "builds a digital map of all dynamic objects and road
+details, such as traffic lights" (paper, Section II-B).  These are the
+messages that feed it: MAPEM describes an intersection's geometry
+(lanes and their signal groups), SPATEM broadcasts the live state of
+each signal group.  The schemas below are simplified from
+ISO/TS 19091 to the elements the red-light-assist application needs,
+but are genuine UPER on the wire like CAM/DENM.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Tuple
+
+from repro.asn1 import Enumerated, Field, Integer, Sequence, SequenceOf
+from repro.messages.common import (
+    ITS_PDU_HEADER,
+    MessageId,
+    REFERENCE_POSITION,
+    ReferencePosition,
+)
+
+IntersectionIdType = Integer(0, 65535, "IntersectionID")
+SignalGroupIdType = Integer(0, 255, "SignalGroupID")
+LaneIdType = Integer(0, 255, "LaneID")
+
+#: MovementPhaseState (SAE J2735 subset).
+EventStateType = Enumerated(
+    [
+        "unavailable",
+        "dark",
+        "stop-Then-Proceed",
+        "stop-And-Remain",
+        "pre-Movement",
+        "permissive-Movement-Allowed",
+        "protected-Movement-Allowed",
+        "permissive-clearance",
+        "protected-clearance",
+        "caution-Conflicting-Traffic",
+    ],
+    "MovementPhaseState",
+)
+
+#: Time marks are tenths of a second in the current/next hour
+#: (0..36001); we use tenths-of-second countdowns for simplicity.
+TimeMarkType = Integer(0, 36001, "TimeMark")
+
+MOVEMENT_EVENT = Sequence("MovementEvent", [
+    Field("eventState", EventStateType),
+    Field("minEndTime", TimeMarkType),
+    Field("likelyTime", TimeMarkType, optional=True),
+], extensible=True)
+
+MOVEMENT_STATE = Sequence("MovementState", [
+    Field("signalGroup", SignalGroupIdType),
+    Field("stateTimeSpeed", SequenceOf(MOVEMENT_EVENT, 1, 3,
+                                       "MovementEventList")),
+], extensible=True)
+
+INTERSECTION_STATE = Sequence("IntersectionState", [
+    Field("id", IntersectionIdType),
+    Field("revision", Integer(0, 127, "MsgCount")),
+    Field("moy", Integer(0, 527040, "MinuteOfTheYear"), optional=True),
+    Field("timeStamp", Integer(0, 65535, "DSecond"), optional=True),
+    Field("states", SequenceOf(MOVEMENT_STATE, 1, 32,
+                               "MovementList")),
+], extensible=True)
+
+#: Complete SPATEM PDU.
+SPATEM_PDU = Sequence("SPATEM", [
+    Field("header", ITS_PDU_HEADER),
+    Field("spat", Sequence("SPAT", [
+        Field("intersections", SequenceOf(INTERSECTION_STATE, 1, 8,
+                                          "IntersectionStateList")),
+    ])),
+])
+
+LaneDirectionType = Enumerated(["ingress", "egress"], "LaneDirection")
+
+GENERIC_LANE = Sequence("GenericLane", [
+    Field("laneID", LaneIdType),
+    Field("direction", LaneDirectionType),
+    Field("signalGroup", SignalGroupIdType, optional=True),
+    #: Approach bearing (0.1 deg) a vehicle on this lane drives.
+    Field("approachBearing", Integer(0, 3600, "ApproachBearing")),
+], extensible=True)
+
+INTERSECTION_GEOMETRY = Sequence("IntersectionGeometry", [
+    Field("id", IntersectionIdType),
+    Field("revision", Integer(0, 127, "MsgCount")),
+    Field("refPoint", REFERENCE_POSITION),
+    Field("lanes", SequenceOf(GENERIC_LANE, 1, 32, "LaneList")),
+], extensible=True)
+
+#: Complete MAPEM PDU.
+MAPEM_PDU = Sequence("MAPEM", [
+    Field("header", ITS_PDU_HEADER),
+    Field("map", Sequence("MapData", [
+        Field("intersections", SequenceOf(INTERSECTION_GEOMETRY, 1, 8,
+                                          "IntersectionGeometryList")),
+    ])),
+])
+
+#: Phases that allow movement.
+GO_STATES = frozenset({
+    "permissive-Movement-Allowed",
+    "protected-Movement-Allowed",
+})
+
+#: Phases that demand a stop.
+STOP_STATES = frozenset({
+    "stop-Then-Proceed",
+    "stop-And-Remain",
+    "dark",
+})
+
+
+@dataclasses.dataclass(frozen=True)
+class MovementState:
+    """One signal group's live state in SI units."""
+
+    signal_group: int
+    event_state: str
+    #: Seconds until this state can end at the earliest.
+    min_end_seconds: float
+    likely_seconds: Optional[float] = None
+
+    @property
+    def is_go(self) -> bool:
+        """Whether vehicles on this signal group may proceed."""
+        return self.event_state in GO_STATES
+
+    @property
+    def is_stop(self) -> bool:
+        """Whether vehicles on this signal group must stop."""
+        return self.event_state in STOP_STATES
+
+
+@dataclasses.dataclass(frozen=True)
+class Spatem:
+    """A decoded signal-phase-and-timing message (one intersection)."""
+
+    station_id: int
+    intersection_id: int
+    revision: int
+    movements: Tuple[MovementState, ...]
+
+    def state_of(self, signal_group: int) -> Optional[MovementState]:
+        """The movement state for *signal_group*, or None."""
+        for movement in self.movements:
+            if movement.signal_group == signal_group:
+                return movement
+        return None
+
+    def to_asn(self) -> dict:
+        """Wire-form dict for :data:`SPATEM_PDU`."""
+        return {
+            "header": {
+                "protocolVersion": 2,
+                "messageID": MessageId.SPAT,
+                "stationID": self.station_id,
+            },
+            "spat": {
+                "intersections": [{
+                    "id": self.intersection_id,
+                    "revision": self.revision,
+                    "states": [
+                        {
+                            "signalGroup": m.signal_group,
+                            "stateTimeSpeed": [{
+                                "eventState": m.event_state,
+                                "minEndTime": _time_mark(
+                                    m.min_end_seconds),
+                                **({"likelyTime": _time_mark(
+                                    m.likely_seconds)}
+                                   if m.likely_seconds is not None
+                                   else {}),
+                            }],
+                        }
+                        for m in self.movements
+                    ],
+                }],
+            },
+        }
+
+    def encode(self) -> bytes:
+        """UPER-encode this SPATEM."""
+        return SPATEM_PDU.to_bytes(self.to_asn())
+
+    @staticmethod
+    def decode(data: bytes) -> "Spatem":
+        """Decode a UPER-encoded SPATEM (first intersection)."""
+        value = SPATEM_PDU.from_bytes(data)
+        intersection = value["spat"]["intersections"][0]
+        movements = []
+        for state in intersection["states"]:
+            event = state["stateTimeSpeed"][0]
+            likely = event.get("likelyTime")
+            movements.append(MovementState(
+                signal_group=state["signalGroup"],
+                event_state=event["eventState"],
+                min_end_seconds=event["minEndTime"] / 10.0,
+                likely_seconds=None if likely is None else likely / 10.0,
+            ))
+        return Spatem(
+            station_id=value["header"]["stationID"],
+            intersection_id=intersection["id"],
+            revision=intersection["revision"],
+            movements=tuple(movements),
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class Lane:
+    """One lane of a mapped intersection."""
+
+    lane_id: int
+    direction: str               # "ingress" | "egress"
+    approach_bearing: float      # degrees a vehicle on it drives
+    signal_group: Optional[int] = None
+
+
+@dataclasses.dataclass(frozen=True)
+class Mapem:
+    """A decoded intersection topology message."""
+
+    station_id: int
+    intersection_id: int
+    revision: int
+    reference_position: ReferencePosition
+    lanes: Tuple[Lane, ...]
+
+    def ingress_lane_for_bearing(self, bearing: float,
+                                 tolerance: float = 45.0,
+                                 ) -> Optional[Lane]:
+        """The ingress lane whose approach matches *bearing* degrees."""
+        best = None
+        best_error = tolerance
+        for lane in self.lanes:
+            if lane.direction != "ingress":
+                continue
+            error = abs((lane.approach_bearing - bearing + 180.0)
+                        % 360.0 - 180.0)
+            if error <= best_error:
+                best = lane
+                best_error = error
+        return best
+
+    def to_asn(self) -> dict:
+        """Wire-form dict for :data:`MAPEM_PDU`."""
+        return {
+            "header": {
+                "protocolVersion": 2,
+                "messageID": MessageId.MAP,
+                "stationID": self.station_id,
+            },
+            "map": {
+                "intersections": [{
+                    "id": self.intersection_id,
+                    "revision": self.revision,
+                    "refPoint": self.reference_position.to_asn(),
+                    "lanes": [
+                        {
+                            "laneID": lane.lane_id,
+                            "direction": lane.direction,
+                            "approachBearing": int(round(
+                                (lane.approach_bearing % 360.0) * 10.0)),
+                            **({"signalGroup": lane.signal_group}
+                               if lane.signal_group is not None else {}),
+                        }
+                        for lane in self.lanes
+                    ],
+                }],
+            },
+        }
+
+    def encode(self) -> bytes:
+        """UPER-encode this MAPEM."""
+        return MAPEM_PDU.to_bytes(self.to_asn())
+
+    @staticmethod
+    def decode(data: bytes) -> "Mapem":
+        """Decode a UPER-encoded MAPEM (first intersection)."""
+        value = MAPEM_PDU.from_bytes(data)
+        intersection = value["map"]["intersections"][0]
+        lanes = tuple(
+            Lane(
+                lane_id=lane["laneID"],
+                direction=lane["direction"],
+                approach_bearing=lane["approachBearing"] / 10.0,
+                signal_group=lane.get("signalGroup"),
+            )
+            for lane in intersection["lanes"]
+        )
+        return Mapem(
+            station_id=value["header"]["stationID"],
+            intersection_id=intersection["id"],
+            revision=intersection["revision"],
+            reference_position=ReferencePosition.from_asn(
+                intersection["refPoint"]),
+            lanes=lanes,
+        )
+
+
+def _time_mark(seconds: float) -> int:
+    return int(max(0, min(36001, round(seconds * 10.0))))

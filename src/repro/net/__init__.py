@@ -1,0 +1,50 @@
+"""IEEE 802.11p / ITS-G5 network substrate.
+
+The paper's RSU and OBU are PCEngines APU2 boards with Compex WLE200NX
+radios running the 802.11p OCB mode.  This package simulates that
+radio link end to end:
+
+* :mod:`repro.net.propagation` -- path loss, shadowing and Nakagami
+  fading models;
+* :mod:`repro.net.phy` -- the 10 MHz OFDM PHY (rate table, airtime,
+  SINR -> packet error probability);
+* :mod:`repro.net.medium` -- the shared broadcast medium with
+  interference accounting and carrier sensing;
+* :mod:`repro.net.mac` -- the EDCA (CSMA/CA) MAC in OCB mode
+  (broadcast, no ACKs);
+* :mod:`repro.net.nic` -- a network interface combining MAC + PHY;
+* :mod:`repro.net.fiveg` -- a simplified cellular (5G Uu) latency
+  model for the paper's future-work comparison.
+"""
+
+from repro.net.frame import AccessCategory, Frame
+from repro.net.propagation import (
+    FreeSpacePathLoss,
+    LogDistancePathLoss,
+    NakagamiFading,
+    PropagationModel,
+    ShadowingModel,
+    TwoRayGroundPathLoss,
+)
+from repro.net.phy import PhyConfig, McsTable, Mcs
+from repro.net.medium import WirelessMedium
+from repro.net.mac import EdcaMac, EDCA_PARAMETERS
+from repro.net.nic import NetworkInterface
+
+__all__ = [
+    "AccessCategory",
+    "EDCA_PARAMETERS",
+    "EdcaMac",
+    "Frame",
+    "FreeSpacePathLoss",
+    "LogDistancePathLoss",
+    "Mcs",
+    "McsTable",
+    "NakagamiFading",
+    "NetworkInterface",
+    "PhyConfig",
+    "PropagationModel",
+    "ShadowingModel",
+    "TwoRayGroundPathLoss",
+    "WirelessMedium",
+]

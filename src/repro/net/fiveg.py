@@ -1,0 +1,153 @@
+"""A simplified 5G (cellular Uu) link-latency model.
+
+The paper's future work installs a 5G module in the robotic vehicle to
+"compare the same detection-to-action delay over a different interface
+and network".  This module provides that comparison interface: a
+grant-based scheduled radio where every uplink transfer pays
+
+* a wait for the next scheduling-request opportunity,
+* the scheduling-request -> grant round trip,
+* the transmission itself (slot-quantised),
+* HARQ retransmissions with probability ``bler`` each,
+
+plus core-network forwarding and a downlink scheduling delay for the
+receiving UE.  Defaults approximate a lightly-loaded 5G NR cell with
+30 kHz numerology; the point of the model is the *structural*
+difference from 802.11p (contention vs scheduling), not absolute
+conformance.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.sim.kernel import Simulator
+
+DeliveryCallback = Callable[[Any, float], None]
+
+
+@dataclasses.dataclass(frozen=True)
+class FivegConfig:
+    """Latency parameters of the cellular link."""
+
+    #: NR slot duration at 30 kHz subcarrier spacing (s).
+    slot_duration: float = 0.5e-3
+    #: Period of scheduling-request opportunities (s).
+    sr_period: float = 5e-3
+    #: Scheduling request -> uplink grant processing (s).
+    sr_to_grant: float = 2.5e-3
+    #: HARQ retransmission round-trip (s).
+    harq_rtt: float = 4e-3
+    #: Block error rate of the first HARQ transmission.
+    bler: float = 0.1
+    #: Maximum HARQ transmissions before the packet is dropped.
+    max_harq_tx: int = 4
+    #: One-way core / edge-network forwarding latency (s).
+    core_latency_mean: float = 3e-3
+    core_latency_jitter: float = 1e-3
+    #: Downlink scheduling period at the receiving UE (s).
+    dl_period: float = 1e-3
+    #: Payload bytes per slot (uplink grant size).
+    bytes_per_slot: int = 1500
+    #: If True, the UE holds a configured grant (no SR round trip);
+    #: models pre-scheduled semi-persistent scheduling for periodic
+    #: safety traffic.
+    configured_grant: bool = False
+
+
+class FivegStation:
+    """A UE (or the network-side application server) on the cell."""
+
+    def __init__(self, cell: "FivegCell", name: str):
+        self.cell = cell
+        self.name = name
+        self._rx_callbacks: List[DeliveryCallback] = []
+        self.messages_sent = 0
+        self.messages_received = 0
+
+    def send(self, destination: str, payload: Any, size: int) -> None:
+        """Send *payload* of *size* bytes to *destination* via the cell."""
+        self.messages_sent += 1
+        self.cell.transfer(self.name, destination, payload, size)
+
+    def on_receive(self, callback: DeliveryCallback) -> None:
+        """Register a callback ``(payload, latency_s)`` for deliveries."""
+        self._rx_callbacks.append(callback)
+
+    def _deliver(self, payload: Any, latency: float) -> None:
+        self.messages_received += 1
+        for callback in self._rx_callbacks:
+            callback(payload, latency)
+
+
+class FivegCell:
+    """The cell: routes transfers between registered stations."""
+
+    def __init__(self, sim: Simulator, rng: np.random.Generator,
+                 config: Optional[FivegConfig] = None):
+        self.sim = sim
+        self.rng = rng
+        self.config = config or FivegConfig()
+        self._stations: Dict[str, FivegStation] = {}
+        self.transfers_attempted = 0
+        self.transfers_delivered = 0
+        self.transfers_dropped = 0
+
+    def station(self, name: str) -> FivegStation:
+        """Create (or fetch) the station called *name*."""
+        if name not in self._stations:
+            self._stations[name] = FivegStation(self, name)
+        return self._stations[name]
+
+    def transfer(self, source: str, destination: str, payload: Any,
+                 size: int) -> None:
+        """Move *payload* from *source* to *destination* with sampled delay."""
+        self.transfers_attempted += 1
+        delay = self.sample_latency(size)
+        if delay is None:
+            self.transfers_dropped += 1
+            return
+        target = self._stations.get(destination)
+        if target is None:
+            self.transfers_dropped += 1
+            return
+        self.transfers_delivered += 1
+        self.sim.schedule(delay, lambda: target._deliver(payload, delay))
+
+    def sample_latency(self, size: int) -> Optional[float]:
+        """One end-to-end latency sample, or None if HARQ gives up."""
+        cfg = self.config
+        # Uplink access.
+        if cfg.configured_grant:
+            access = float(self.rng.uniform(0.0, cfg.slot_duration))
+        else:
+            sr_wait = float(self.rng.uniform(0.0, cfg.sr_period))
+            access = sr_wait + cfg.sr_to_grant
+        # Transmission, slot-quantised.
+        slots = max(1, -(-size // cfg.bytes_per_slot))
+        tx_time = slots * cfg.slot_duration
+        # HARQ.
+        harq = 0.0
+        attempts = 1
+        while self.rng.random() < cfg.bler:
+            attempts += 1
+            if attempts > cfg.max_harq_tx:
+                return None
+            harq += cfg.harq_rtt
+        # Core network + downlink scheduling.
+        core = max(0.0, float(self.rng.normal(
+            cfg.core_latency_mean, cfg.core_latency_jitter)))
+        downlink = float(self.rng.uniform(0.0, cfg.dl_period)) \
+            + cfg.slot_duration
+        return access + tx_time + harq + core + downlink
+
+    def stats(self) -> Dict[str, int]:
+        """Transfer counters."""
+        return {
+            "attempted": self.transfers_attempted,
+            "delivered": self.transfers_delivered,
+            "dropped": self.transfers_dropped,
+        }

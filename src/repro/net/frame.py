@@ -1,0 +1,60 @@
+"""MAC frames and access categories."""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import itertools
+from typing import Any, Dict, Optional
+
+
+class AccessCategory(enum.IntEnum):
+    """EDCA access categories, highest priority first.
+
+    ETSI ITS maps DENMs to AC_VO and CAMs to AC_VI (TS 102 636-4-2
+    traffic classes); background traffic uses AC_BE / AC_BK.
+    """
+
+    AC_VO = 0
+    AC_VI = 1
+    AC_BE = 2
+    AC_BK = 3
+
+
+_frame_ids = itertools.count(1)
+
+#: Broadcast MAC address used in OCB mode.
+BROADCAST = "ff:ff:ff:ff:ff:ff"
+
+#: MAC + LLC overhead added to every payload (bytes): 802.11 header
+#: (24) + QoS (2) + LLC/SNAP (8) + FCS (4).
+MAC_OVERHEAD_BYTES = 38
+
+
+@dataclasses.dataclass
+class Frame:
+    """A broadcast MAC frame.
+
+    ``payload`` is opaque to the MAC; the GeoNetworking router places
+    encoded packets here.  ``size`` is the payload size in bytes; the
+    PHY adds MAC overhead when computing airtime.
+    """
+
+    payload: Any
+    size: int
+    source: str
+    destination: str = BROADCAST
+    category: AccessCategory = AccessCategory.AC_BE
+    meta: Dict[str, Any] = dataclasses.field(default_factory=dict)
+    frame_id: int = dataclasses.field(default_factory=lambda: next(_frame_ids))
+    enqueued_at: Optional[float] = None
+
+    @property
+    def wire_size(self) -> int:
+        """Total bytes on the air including MAC/LLC overhead."""
+        return self.size + MAC_OVERHEAD_BYTES
+
+    @property
+    def is_broadcast(self) -> bool:
+        """Whether this frame is addressed to everyone in range."""
+        return self.destination == BROADCAST

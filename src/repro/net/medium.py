@@ -1,0 +1,242 @@
+"""The shared broadcast wireless medium.
+
+All attached NICs hear every transmission at a power given by the
+:class:`~repro.net.propagation.LinkBudget`.  The medium
+
+* tracks concurrent transmissions and computes per-receiver SINR with
+  cumulative interference,
+* provides energy-detection carrier sensing to the MACs (with per-NIC
+  busy/idle transition callbacks),
+* enforces half-duplex operation (a transmitting NIC cannot decode an
+  overlapping frame).
+
+Propagation delay over laboratory distances (metres -> nanoseconds) is
+negligible compared to the microsecond MAC timing and is not modelled.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.net.frame import Frame
+from repro.net.propagation import LinkBudget, dbm_to_mw, mw_to_dbm
+from repro.sim.kernel import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.net.nic import NetworkInterface
+
+
+@dataclasses.dataclass
+class ReceptionInfo:
+    """Delivered alongside a decoded frame."""
+
+    rx_power_dbm: float
+    sinr_db: float
+    started_at: float
+    ended_at: float
+
+
+@dataclasses.dataclass
+class _Transmission:
+    tx_id: int
+    sender: "NetworkInterface"
+    frame: Frame
+    start: float
+    end: float
+    #: rx power (dBm) at every other NIC, drawn at start of frame.
+    rx_powers: Dict[str, float]
+    #: interference energy (mW * overlap fraction) per receiver.
+    interference_mw: Dict[str, float] = dataclasses.field(
+        default_factory=dict)
+
+
+class WirelessMedium:
+    """The single shared channel all OBUs/RSUs operate on (ITS-G5 CCH)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rng: np.random.Generator,
+        budget: Optional[LinkBudget] = None,
+    ):
+        self.sim = sim
+        self.rng = rng
+        self.budget = budget or LinkBudget()
+        self._nics: Dict[str, "NetworkInterface"] = {}
+        self._active: List[_Transmission] = []
+        self._tx_ids = itertools.count(1)
+        self._busy_state: Dict[str, bool] = {}
+        # Statistics
+        self.frames_sent = 0
+        self.frames_delivered = 0
+        self.frames_lost_noise = 0
+        self.frames_lost_collision = 0
+        self.frames_below_sensitivity = 0
+
+    # ------------------------------------------------------------------
+    # Attachment
+    # ------------------------------------------------------------------
+
+    def attach(self, nic: "NetworkInterface") -> None:
+        """Register *nic* on the channel."""
+        if nic.name in self._nics:
+            raise ValueError(f"NIC name {nic.name!r} already attached")
+        self._nics[nic.name] = nic
+        self._busy_state[nic.name] = False
+
+    def detach(self, nic: "NetworkInterface") -> None:
+        """Remove *nic* from the channel."""
+        self._nics.pop(nic.name, None)
+        self._busy_state.pop(nic.name, None)
+
+    # ------------------------------------------------------------------
+    # Carrier sense
+    # ------------------------------------------------------------------
+
+    def is_busy_for(self, nic: "NetworkInterface") -> bool:
+        """Energy-detection carrier sense at *nic* (includes own TX)."""
+        for tx in self._active:
+            if tx.sender is nic:
+                return True
+            power = tx.rx_powers.get(nic.name)
+            if power is not None and power >= nic.phy.cs_threshold_dbm:
+                return True
+        return False
+
+    def _update_busy_states(self) -> None:
+        for name, nic in self._nics.items():
+            busy = self.is_busy_for(nic)
+            if busy != self._busy_state[name]:
+                self._busy_state[name] = busy
+                if busy:
+                    nic.mac.on_medium_busy()
+                else:
+                    nic.mac.on_medium_idle()
+
+    # ------------------------------------------------------------------
+    # Transmission
+    # ------------------------------------------------------------------
+
+    def transmit(self, sender: "NetworkInterface", frame: Frame) -> float:
+        """Start transmitting *frame* from *sender*; returns the airtime."""
+        duration = sender.phy.airtime(frame.wire_size)
+        now = self.sim.now
+        tx = _Transmission(
+            tx_id=next(self._tx_ids),
+            sender=sender,
+            frame=frame,
+            start=now,
+            end=now + duration,
+            rx_powers={},
+        )
+        tx_pos = sender.position()
+        for name, nic in self._nics.items():
+            if nic is sender:
+                continue
+            power = self.budget.received_power_dbm(
+                self.rng,
+                tx_power_dbm=sender.phy.tx_power_dbm,
+                link=(sender.name, name),
+                tx_pos=tx_pos,
+                rx_pos=nic.position(),
+            )
+            tx.rx_powers[name] = power
+            tx.interference_mw.setdefault(name, 0.0)
+        # Mutual interference with every overlapping transmission.
+        for other in self._active:
+            self._add_interference(other, tx)
+            self._add_interference(tx, other)
+        self._active.append(tx)
+        self.frames_sent += 1
+        self._update_busy_states()
+        self.sim.schedule(duration, lambda: self._complete(tx))
+        return duration
+
+    def _add_interference(self, victim: _Transmission,
+                          interferer: _Transmission) -> None:
+        overlap = (min(victim.end, interferer.end)
+                   - max(victim.start, interferer.start))
+        if overlap <= 0:
+            return
+        fraction = overlap / (victim.end - victim.start)
+        for name in victim.rx_powers:
+            power = interferer.rx_powers.get(name)
+            if interferer.sender.name == name:
+                # Receiver was itself transmitting: modelled separately
+                # as half-duplex loss.
+                continue
+            if power is not None:
+                victim.interference_mw[name] = (
+                    victim.interference_mw.get(name, 0.0)
+                    + dbm_to_mw(power) * fraction)
+
+    def _complete(self, tx: _Transmission) -> None:
+        self._active.remove(tx)
+        for name, rx_power in tx.rx_powers.items():
+            nic = self._nics.get(name)
+            if nic is None:
+                continue
+            self._attempt_reception(tx, nic, rx_power)
+        self._update_busy_states()
+
+    def _attempt_reception(self, tx: _Transmission,
+                           nic: "NetworkInterface",
+                           rx_power_dbm: float) -> None:
+        if rx_power_dbm < nic.phy.rx_sensitivity_dbm:
+            self.frames_below_sensitivity += 1
+            return
+        if self._was_transmitting_during(nic, tx):
+            self.frames_lost_collision += 1
+            nic.on_frame_lost(tx.frame, reason="half-duplex")
+            return
+        noise_mw = dbm_to_mw(nic.phy.noise_power_dbm)
+        interference_mw = tx.interference_mw.get(nic.name, 0.0)
+        sinr_linear = dbm_to_mw(rx_power_dbm) / (noise_mw + interference_mw)
+        per = nic.phy.mcs.packet_error_rate(sinr_linear, tx.frame.wire_size)
+        if self.rng.random() < per:
+            if interference_mw > noise_mw:
+                self.frames_lost_collision += 1
+                nic.on_frame_lost(tx.frame, reason="collision")
+            else:
+                self.frames_lost_noise += 1
+                nic.on_frame_lost(tx.frame, reason="noise")
+            return
+        self.frames_delivered += 1
+        info = ReceptionInfo(
+            rx_power_dbm=rx_power_dbm,
+            sinr_db=mw_to_dbm(sinr_linear),
+            started_at=tx.start,
+            ended_at=tx.end,
+        )
+        nic.deliver(tx.frame, info)
+
+    def _was_transmitting_during(self, nic: "NetworkInterface",
+                                 tx: _Transmission) -> bool:
+        for other in itertools.chain(self._active, (tx,)):
+            if other is tx:
+                continue
+            if other.sender is nic and (
+                    min(other.end, tx.end) > max(other.start, tx.start)):
+                return True
+        # Transmissions that already completed but overlapped tx are
+        # captured in nic's own busy log.
+        return nic.overlapped_own_tx(tx.start, tx.end)
+
+    @property
+    def active_count(self) -> int:
+        """Number of transmissions currently on the air."""
+        return len(self._active)
+
+    def stats(self) -> Dict[str, int]:
+        """Counters for delivered/lost frames."""
+        return {
+            "sent": self.frames_sent,
+            "delivered": self.frames_delivered,
+            "lost_noise": self.frames_lost_noise,
+            "lost_collision": self.frames_lost_collision,
+            "below_sensitivity": self.frames_below_sensitivity,
+        }

@@ -1,0 +1,35 @@
+"""OpenC2X-style OBU/RSU units with an HTTP API façade.
+
+OpenC2X exposes its facilities to applications through an HTTP web
+interface; the paper's integration is exactly two endpoints:
+
+* the edge node POSTs to ``/trigger_denm`` on the RSU to disseminate
+  a DENM when a hazard is detected;
+* a Python script on the vehicle's Jetson polls ``/request_denm`` on
+  the OBU; a non-empty response means a DENM arrived and power to the
+  wheels is cut.
+
+:mod:`repro.openc2x.http` models the HTTP hop (LAN latency + service
+time), and :mod:`repro.openc2x.unit` assembles
+:class:`~repro.facilities.station.ItsStation` + HTTP server into
+:class:`OnBoardUnit` / :class:`RoadSideUnit`.
+"""
+
+from repro.openc2x.http import HttpClient, HttpConfig, HttpResponse, HttpServer
+from repro.openc2x.unit import (
+    OnBoardUnit,
+    OpenC2XUnit,
+    RoadSideUnit,
+    StackConfig,
+)
+
+__all__ = [
+    "HttpClient",
+    "HttpConfig",
+    "HttpResponse",
+    "HttpServer",
+    "OnBoardUnit",
+    "OpenC2XUnit",
+    "RoadSideUnit",
+    "StackConfig",
+]

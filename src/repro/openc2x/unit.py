@@ -1,0 +1,370 @@
+"""OBU and RSU units: an ITS station plus the OpenC2X HTTP API.
+
+The HTTP routes mirror the subset of OpenC2X's web interface the paper
+uses (Section III-D):
+
+* ``POST /trigger_denm`` -- build and disseminate a DENM from the
+  request body (the RSU path, called by the edge node);
+* ``POST /request_denm`` -- return the oldest undelivered received
+  DENM, or an empty 200 (the OBU path, polled by the vehicle);
+* ``POST /trigger_cam`` -- force a CAM transmission;
+* ``POST /cam_info`` / ``POST /denm_all`` -- LDM dumps, mirroring the
+  OpenC2X web interface views.
+
+Units also expose a measurement hook (:meth:`OpenC2XUnit.on_event`)
+that reports the paper's step timestamps -- DENM sent at the RSU
+(step 3), DENM received at the OBU (step 4) -- in *device clock* time,
+exactly as the NTP-synced testbed logged them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.facilities.ca_service import CaConfig, StationState
+from repro.facilities.den_service import DenConfig
+from repro.facilities.ldm import ObjectKind
+from repro.facilities.station import ItsStation
+from repro.geonet.position import GeoPosition, LocalFrame
+from repro.geonet.router import CircularArea
+from repro.messages.common import ReferencePosition
+from repro.messages.denm import ActionId, Denm
+from repro.net.medium import WirelessMedium
+from repro.net.phy import PhyConfig
+from repro.openc2x.http import HttpConfig, HttpServer
+from repro.sim.clock import NtpModel
+from repro.sim.kernel import Simulator
+from repro.sim.randomness import RandomStreams
+
+EventHook = Callable[[str, Dict[str, Any]], None]
+
+
+@dataclasses.dataclass(frozen=True)
+class StackConfig:
+    """Internal OpenC2X stack traversal latencies.
+
+    The trigger path (web API -> DEN service -> DCC -> driver) and the
+    receive path (driver -> GN -> DEN service -> LDM/sqlite write) each
+    cost sub-millisecond-to-millisecond time on the APU2 boards; the
+    paper's measured 1.6 ms RSU-send to OBU-receive interval is mostly
+    this, not airtime.
+    """
+
+    trigger_delay_mean: float = 0.9e-3
+    trigger_delay_std: float = 0.25e-3
+    receive_delay_mean: float = 0.8e-3
+    receive_delay_std: float = 0.25e-3
+
+
+class OpenC2XUnit:
+    """A single-board computer running the (simulated) OpenC2X stack."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        medium: WirelessMedium,
+        streams: RandomStreams,
+        name: str,
+        station_id: int,
+        station_type: int,
+        position: Callable[[], GeoPosition],
+        dynamics: Optional[Callable[[], Tuple[float, float]]] = None,
+        state_provider: Optional[Callable[[], StationState]] = None,
+        phy: Optional[PhyConfig] = None,
+        ntp: Optional[NtpModel] = None,
+        http_config: Optional[HttpConfig] = None,
+        stack_config: Optional[StackConfig] = None,
+        ca_config: Optional[CaConfig] = None,
+        den_config: Optional[DenConfig] = None,
+        enable_cam: bool = True,
+        is_rsu: bool = False,
+        local_frame: Optional[LocalFrame] = None,
+        security=None,
+    ):
+        self.sim = sim
+        self.name = name
+        self.station = ItsStation(
+            sim, medium, streams, name, station_id, station_type,
+            position=position, dynamics=dynamics,
+            state_provider=state_provider, phy=phy, ntp=ntp,
+            ca_config=ca_config, den_config=den_config,
+            enable_cam=enable_cam, is_rsu=is_rsu, local_frame=local_frame,
+            security=security)
+        self.http = HttpServer(
+            sim, streams.get(f"station.{name}.http"), name, http_config)
+        self.stack_config = stack_config or StackConfig()
+        self._stack_rng = streams.get(f"station.{name}.stack")
+        self._pending_denms: Deque[Dict[str, Any]] = deque()
+        self._push_subscribers: List[Tuple[Callable[[Dict[str, Any]],
+                                                    None], float]] = []
+        self._event_hooks: List[EventHook] = []
+        self.denms_queued = 0
+        self.denms_polled = 0
+        self.empty_polls = 0
+        self.station.den.on_denm(self._on_denm)
+        self.http.route("/trigger_denm", self._handle_trigger_denm)
+        self.http.route("/cancel_denm", self._handle_cancel_denm)
+        self.http.route("/request_denm", self._handle_request_denm)
+        self.http.route("/trigger_cam", self._handle_trigger_cam)
+        self.http.route("/cam_info", self._handle_cam_info)
+        self.http.route("/denm_all", self._handle_denm_all)
+
+    # ------------------------------------------------------------------
+    # Measurement hooks
+    # ------------------------------------------------------------------
+
+    def on_event(self, hook: EventHook) -> None:
+        """Register a hook for step events (``denm_sent`` etc.)."""
+        self._event_hooks.append(hook)
+
+    def _emit(self, event: str, **fields: Any) -> None:
+        record = {
+            "station": self.name,
+            "clock_time": self.station.clock.now(),
+            "sim_time": self.sim.now,
+        }
+        record.update(fields)
+        for hook in self._event_hooks:
+            hook(event, record)
+
+    # ------------------------------------------------------------------
+    # DENM receive path (the OBU side)
+    # ------------------------------------------------------------------
+
+    def _on_denm(self, denm: Denm, classification: str) -> None:
+        if classification == "repetition":
+            return
+        # Stack traversal: radio driver -> GeoNetworking -> DEN
+        # service -> LDM write before the web API can see the message.
+        delay = max(0.0, float(self._stack_rng.normal(
+            self.stack_config.receive_delay_mean,
+            self.stack_config.receive_delay_std)))
+        self.sim.schedule(delay, lambda: self._queue_denm(
+            denm, classification))
+
+    def _queue_denm(self, denm: Denm, classification: str) -> None:
+        self._emit("denm_received",
+                   action_id=(denm.action_id.station_id,
+                              denm.action_id.sequence_number),
+                   classification=classification)
+        record = self._denm_to_json(denm, classification)
+        self._pending_denms.append(record)
+        self.denms_queued += 1
+        self._notify_push(record)
+
+    def subscribe_push(self, callback: Callable[[Dict[str, Any]], None],
+                       latency: float = 1e-3) -> None:
+        """Push-mode delivery: *callback* fires for every queued DENM.
+
+        Models a persistent notification channel (long-poll /
+        websocket) instead of the paper's polling loop; *latency* is
+        the channel's delivery time.  The DENM also stays in the poll
+        queue, so mixed deployments work.
+        """
+        self._push_subscribers.append((callback, latency))
+
+    def _notify_push(self, record: Dict[str, Any]) -> None:
+        for callback, latency in self._push_subscribers:
+            self.sim.schedule(latency,
+                              lambda cb=callback, r=dict(record): cb(r))
+
+    def inject_denm(self, denm_json: Dict[str, Any]) -> None:
+        """Queue a warning delivered outside the ITS-G5 stack.
+
+        Used by the multi-technology experiments: a DENM-equivalent
+        message arriving over a cellular bridge enters the same queue
+        the vehicle's Message Handler polls, and stamps the same
+        step-4 reception event.
+        """
+        action = denm_json.get("actionId", {})
+        self._emit("denm_received",
+                   action_id=(action.get("originatingStationID", 0),
+                              action.get("sequenceNumber", 0)),
+                   classification=denm_json.get("classification", "new"))
+        record = dict(denm_json)
+        record.setdefault("receivedAt", self.station.clock.now())
+        record.setdefault("termination", None)
+        self._pending_denms.append(record)
+        self.denms_queued += 1
+        self._notify_push(record)
+
+    def _denm_to_json(self, denm: Denm, classification: str,
+                      ) -> Dict[str, Any]:
+        body: Dict[str, Any] = {
+            "actionId": {
+                "originatingStationID": denm.action_id.station_id,
+                "sequenceNumber": denm.action_id.sequence_number,
+            },
+            "detectionTime": denm.detection_time,
+            "referenceTime": denm.reference_time,
+            "classification": classification,
+            "receivedAt": self.station.clock.now(),
+            "eventPosition": {
+                "latitude": denm.event_position.latitude,
+                "longitude": denm.event_position.longitude,
+            },
+            "termination": denm.termination,
+        }
+        if denm.event_type is not None:
+            body["situation"] = {
+                "causeCode": denm.event_type.cause_code,
+                "subCauseCode": denm.event_type.sub_cause_code,
+                "description": denm.describe(),
+            }
+        return body
+
+    # ------------------------------------------------------------------
+    # HTTP handlers
+    # ------------------------------------------------------------------
+
+    def _handle_trigger_denm(self, body: Dict[str, Any],
+                             ) -> Tuple[int, Dict[str, Any]]:
+        try:
+            latitude = float(body["latitude"])
+            longitude = float(body["longitude"])
+            cause_code = int(body["causeCode"])
+        except KeyError as err:
+            return 400, {"error": f"missing field {err}"}
+        sub_cause = int(body.get("subCauseCode", 0))
+        quality = int(body.get("informationQuality", 3))
+        validity = body.get("validityDuration", 10)
+        radius = float(body.get("areaRadius", 50.0))
+        action_id = self.station.den.allocate_action_id()
+        denm = Denm(
+            action_id=action_id,
+            detection_time=int(body.get("detectionTime",
+                                        self.station.its_time())),
+            reference_time=self.station.its_time(),
+            event_position=ReferencePosition(latitude, longitude),
+            station_type=self.station.station_type,
+            event_type=_event_type_or_none(cause_code, sub_cause),
+            information_quality=quality,
+            validity_duration=validity,
+            event_speed=body.get("eventSpeed"),
+            event_heading=body.get("eventHeading"),
+        )
+        area = CircularArea(GeoPosition(latitude, longitude), radius)
+        repetition = body.get("repetitionInterval")
+        duration = body.get("repetitionDuration", 0.0)
+        # Stack traversal: web API -> DEN service -> DCC -> driver.
+        delay = max(0.0, float(self._stack_rng.normal(
+            self.stack_config.trigger_delay_mean,
+            self.stack_config.trigger_delay_std)))
+
+        def transmit() -> None:
+            self.station.den.trigger(
+                denm, area=area,
+                repetition_interval=repetition,
+                repetition_duration=duration)
+            # Step 3: "the RSU registers the time of sending of DENMs".
+            self._emit("denm_sent",
+                       action_id=(action_id.station_id,
+                                  action_id.sequence_number),
+                       cause_code=cause_code)
+
+        self.sim.schedule(delay, transmit)
+        return 200, {
+            "status": "triggered",
+            "actionId": {
+                "originatingStationID": action_id.station_id,
+                "sequenceNumber": action_id.sequence_number,
+            },
+        }
+
+    def _handle_cancel_denm(self, body: Dict[str, Any],
+                            ) -> Tuple[int, Dict[str, Any]]:
+        """Cancel an event this unit originated (all-clear)."""
+        from repro.messages.denm import ActionId
+
+        try:
+            action = ActionId(
+                int(body["actionId"]["originatingStationID"]),
+                int(body["actionId"]["sequenceNumber"]))
+        except (KeyError, TypeError) as err:
+            return 400, {"error": f"missing/invalid actionId ({err})"}
+        delay = max(0.0, float(self._stack_rng.normal(
+            self.stack_config.trigger_delay_mean,
+            self.stack_config.trigger_delay_std)))
+
+        def transmit() -> None:
+            try:
+                self.station.den.cancel(action)
+            except KeyError:
+                return
+            self._emit("denm_cancelled",
+                       action_id=(action.station_id,
+                                  action.sequence_number))
+
+        if action not in self.station.den.originated_events():
+            return 404, {"error": f"unknown event {action}"}
+        self.sim.schedule(delay, transmit)
+        return 200, {"status": "cancelling"}
+
+    def _handle_request_denm(self, _body: Dict[str, Any],
+                             ) -> Tuple[int, Dict[str, Any]]:
+        if not self._pending_denms:
+            self.empty_polls += 1
+            return 200, {}
+        self.denms_polled += 1
+        return 200, {"denm": self._pending_denms.popleft()}
+
+    def _handle_trigger_cam(self, _body: Dict[str, Any],
+                            ) -> Tuple[int, Dict[str, Any]]:
+        self.station.ca.force_generate()
+        return 200, {"status": "sent"}
+
+    def _handle_cam_info(self, _body: Dict[str, Any],
+                         ) -> Tuple[int, Dict[str, Any]]:
+        vehicles = self.station.ldm.query(kinds=[ObjectKind.VEHICLE])
+        return 200, {
+            "vehicles": [
+                {
+                    "stationID": obj.station_id,
+                    "latitude": obj.position.latitude,
+                    "longitude": obj.position.longitude,
+                    "speed": obj.speed,
+                    "heading": obj.heading,
+                    "age": self.sim.now - obj.timestamp,
+                }
+                for obj in vehicles
+            ],
+        }
+
+    def _handle_denm_all(self, _body: Dict[str, Any],
+                         ) -> Tuple[int, Dict[str, Any]]:
+        events = self.station.ldm.query(kinds=[ObjectKind.EVENT])
+        return 200, {
+            "events": [
+                {
+                    "stationID": obj.station_id,
+                    "latitude": obj.position.latitude,
+                    "longitude": obj.position.longitude,
+                    "description": (obj.data.describe()
+                                    if isinstance(obj.data, Denm) else None),
+                }
+                for obj in events
+            ],
+        }
+
+    @property
+    def pending_denm_count(self) -> int:
+        """DENMs received but not yet polled by the vehicle."""
+        return len(self._pending_denms)
+
+
+def _event_type_or_none(cause_code: int, sub_cause: int):
+    from repro.messages.denm import EventType
+
+    if cause_code < 0:
+        return None
+    return EventType(cause_code, sub_cause)
+
+
+class OnBoardUnit(OpenC2XUnit):
+    """The vehicle's APU2 board: receives DENMs, polled by the Jetson."""
+
+
+class RoadSideUnit(OpenC2XUnit):
+    """The infrastructure's APU2 board: disseminates DENMs on request."""

@@ -1,0 +1,42 @@
+"""Road-side infrastructure: camera, object detection, hazard advertisement.
+
+Mirrors the paper's edge deployment (Figure 9): a ZED camera watches a
+Region of Interest; a Jetson Xavier NX runs YOLO object detection (the
+*Object Detection Service*); the *Hazard Advertisement Service*
+decides when a detection constitutes a hazard and POSTs
+``/trigger_denm`` to the RSU.
+
+The YOLO model is behavioural: it reproduces the detector properties
+the paper documents -- the bare scale vehicle is misclassified as a
+motorbike and detected unreliably, the body shell oscillates between
+car and truck, the cardboard stop sign is robust, and distance
+estimation breaks below ~75 cm (defaulting to 1.73 m).
+"""
+
+from repro.roadside.camera import RoadsideCamera, SceneObject, VisibleObject
+from repro.roadside.yolo import (
+    Detection,
+    DetectionProfile,
+    SimulatedYolo,
+    YoloConfig,
+)
+from repro.roadside.detection_service import (
+    DetectionEvent,
+    ObjectDetectionService,
+)
+from repro.roadside.hazard_service import HazardAdvertisementService
+from repro.roadside.edge_node import EdgeNode
+
+__all__ = [
+    "Detection",
+    "DetectionEvent",
+    "DetectionProfile",
+    "EdgeNode",
+    "HazardAdvertisementService",
+    "ObjectDetectionService",
+    "RoadsideCamera",
+    "SceneObject",
+    "SimulatedYolo",
+    "VisibleObject",
+    "YoloConfig",
+]

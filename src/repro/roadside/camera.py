@@ -1,0 +1,141 @@
+"""The road-side ZED camera.
+
+The camera has a fixed pose and field of view; tracked scene objects
+that fall inside the view cone appear in each captured frame as
+:class:`VisibleObject` records carrying true distance, bearing and the
+aspect angle (how much of the object's front vs side the camera sees
+-- YOLO's reliability on the scale vehicle depends on it, per the
+paper's Figure 7 discussion).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Callable, List, Optional, Tuple
+
+from repro.sim.kernel import Simulator
+
+
+@dataclasses.dataclass
+class SceneObject:
+    """Something the camera may see.
+
+    Args:
+        name: unique identifier.
+        kind: what it physically is -- ``scale_vehicle`` (bare
+            chassis), ``shell_vehicle`` (with the Traxxas body shell),
+            ``stop_sign`` (the cardboard sign mounted on the car),
+            ``pedestrian``, ...
+        position: callable returning the current (x, y) metres.
+        heading: callable returning the object's facing (rad); used
+            for the aspect angle.
+        speed: callable returning current speed (m/s).
+    """
+
+    name: str
+    kind: str
+    position: Callable[[], Tuple[float, float]]
+    heading: Callable[[], float] = lambda: 0.0
+    speed: Callable[[], float] = lambda: 0.0
+
+
+@dataclasses.dataclass(frozen=True)
+class VisibleObject:
+    """One scene object as seen in a frame."""
+
+    name: str
+    kind: str
+    distance: float        # true metres from the camera
+    bearing: float         # rad, relative to the camera axis
+    aspect_angle: float    # rad, 0 = seen head-on, pi/2 = full side view
+    speed: float
+    position: Tuple[float, float]
+
+
+@dataclasses.dataclass(frozen=True)
+class CameraFrame:
+    """A captured road-side frame (object-level, the YOLO input)."""
+
+    objects: Tuple[VisibleObject, ...]
+    captured_at: float
+    sequence: int
+
+
+class RoadsideCamera:
+    """Fixed camera monitoring the Region of Interest."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        position: Tuple[float, float],
+        facing: float,
+        publish: Callable[[CameraFrame], None],
+        fps: float = 15.0,
+        fov: float = math.radians(90.0),
+        max_range: float = 12.0,
+        enabled: bool = True,
+    ):
+        self.sim = sim
+        self.position = position
+        self.facing = facing
+        self.publish = publish
+        self.fps = fps
+        self.fov = fov
+        self.max_range = max_range
+        self._objects: List[SceneObject] = []
+        self.frames_captured = 0
+        if enabled:
+            sim.schedule(1.0 / fps, self._capture)
+
+    def add_object(self, obj: SceneObject) -> None:
+        """Track *obj* in the scene."""
+        self._objects.append(obj)
+
+    def remove_object(self, name: str) -> bool:
+        """Stop tracking the object called *name*."""
+        before = len(self._objects)
+        self._objects = [o for o in self._objects if o.name != name]
+        return len(self._objects) < before
+
+    def observe(self) -> Tuple[VisibleObject, ...]:
+        """The currently visible objects (one frame's content)."""
+        cx, cy = self.position
+        visible = []
+        for obj in self._objects:
+            ox, oy = obj.position()
+            dx, dy = ox - cx, oy - cy
+            distance = math.hypot(dx, dy)
+            if distance > self.max_range or distance < 1e-6:
+                continue
+            bearing = _wrap(math.atan2(dy, dx) - self.facing)
+            if abs(bearing) > self.fov / 2.0:
+                continue
+            # Aspect angle: angle between the camera->object ray and
+            # the object's facing; 0 means we see it head-on.
+            ray_back = math.atan2(cy - oy, cx - ox)
+            aspect = abs(_wrap(obj.heading() - ray_back))
+            visible.append(VisibleObject(
+                name=obj.name,
+                kind=obj.kind,
+                distance=distance,
+                bearing=bearing,
+                aspect_angle=min(aspect, math.pi - aspect),
+                speed=obj.speed(),
+                position=(ox, oy),
+            ))
+        return tuple(visible)
+
+    def _capture(self) -> None:
+        frame = CameraFrame(
+            objects=self.observe(),
+            captured_at=self.sim.now,
+            sequence=self.frames_captured,
+        )
+        self.frames_captured += 1
+        self.publish(frame)
+        self.sim.schedule(1.0 / self.fps, self._capture)
+
+
+def _wrap(angle: float) -> float:
+    return (angle + math.pi) % (2.0 * math.pi) - math.pi

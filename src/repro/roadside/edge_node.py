@@ -1,0 +1,116 @@
+"""The assembled edge node (Jetson Xavier NX + ZED camera + RSU link).
+
+Wires the road-side pipeline of Figure 3: camera -> Object Detection
+Service (YOLO) -> Hazard Advertisement Service -> HTTP
+``/trigger_denm`` on the RSU.  The node has its own NTP-disciplined
+clock; its ``hazard_detected`` events carry the step-2 timestamp in
+device-clock time, like the paper's logs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.geonet.position import LocalFrame
+from repro.openc2x.http import HttpClient, HttpServer
+from repro.roadside.camera import RoadsideCamera, SceneObject
+from repro.roadside.detection_service import (
+    DetectionEvent,
+    ObjectDetectionService,
+)
+from repro.roadside.hazard_service import (
+    HazardAdvertisementService,
+    HazardConfig,
+)
+from repro.roadside.yolo import SimulatedYolo, YoloConfig
+from repro.sim.clock import DeviceClock, NtpModel
+from repro.sim.kernel import Simulator
+from repro.sim.randomness import RandomStreams
+
+EventHook = Callable[[str, Dict[str, Any]], None]
+
+
+class EdgeNode:
+    """Camera + detector + hazard service, bound to an RSU."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        streams: RandomStreams,
+        rsu_server: HttpServer,
+        camera_position: Tuple[float, float] = (0.0, 0.0),
+        camera_facing: float = 0.0,
+        camera_fps: float = 15.0,
+        camera_fov: float = math.radians(90.0),
+        name: str = "edge",
+        ntp: Optional[NtpModel] = None,
+        yolo_config: Optional[YoloConfig] = None,
+        hazard_config: Optional[HazardConfig] = None,
+        local_frame: Optional[LocalFrame] = None,
+        ldm=None,
+    ):
+        self.sim = sim
+        self.name = name
+        scoped = streams.spawn(f"edge.{name}")
+        self.clock = DeviceClock(
+            sim, scoped.get("clock"), ntp or NtpModel.lan_default(),
+            name=f"{name}.clock")
+        self.yolo = SimulatedYolo(scoped.get("yolo"), yolo_config)
+        self.detector = ObjectDetectionService(
+            sim, self.yolo, publish=self._on_detection_event)
+        self.camera = RoadsideCamera(
+            sim,
+            position=camera_position,
+            facing=camera_facing,
+            publish=self.detector.on_frame,
+            fps=camera_fps,
+            fov=camera_fov,
+        )
+        self.http_client = HttpClient(sim, scoped.get("http"), name=name)
+        self.hazard = HazardAdvertisementService(
+            sim,
+            client=self.http_client,
+            rsu_server=rsu_server,
+            camera_position=camera_position,
+            camera_facing=camera_facing,
+            local_frame=local_frame,
+            ldm=ldm,
+            config=hazard_config,
+        )
+        self._hooks: List[EventHook] = []
+        self.hazard.on_event(self._relay)
+        self._detection_listeners: List[Callable[[DetectionEvent], None]] = []
+
+    # ------------------------------------------------------------------
+    # Scene management
+    # ------------------------------------------------------------------
+
+    def watch(self, obj: SceneObject) -> None:
+        """Add a scene object to the camera's view."""
+        self.camera.add_object(obj)
+
+    def on_detections(self, listener: Callable[[DetectionEvent], None],
+                      ) -> None:
+        """Subscribe to raw detection events (besides the hazard path)."""
+        self._detection_listeners.append(listener)
+
+    # ------------------------------------------------------------------
+    # Hooks / plumbing
+    # ------------------------------------------------------------------
+
+    def on_event(self, hook: EventHook) -> None:
+        """Register a hook for ``hazard_detected`` step events."""
+        self._hooks.append(hook)
+
+    def _relay(self, event: str, record: Dict[str, Any]) -> None:
+        enriched = {"edge": self.name,
+                    "clock_time": self.clock.now()}
+        enriched.update(record)
+        for hook in self._hooks:
+            hook(event, enriched)
+
+    def _on_detection_event(self, event: DetectionEvent) -> None:
+        self.hazard.on_detections(event)
+        for listener in self._detection_listeners:
+            listener(event)

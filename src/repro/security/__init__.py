@@ -1,0 +1,56 @@
+"""ETSI ITS security (TS 103 097 / TS 102 941, behavioural model).
+
+Real ITS-G5 deployments sign every CAM/DENM with ECDSA under
+short-lived pseudonym certificates (Authorization Tickets) issued by
+an Authorization Authority chained to a Root CA.  This package models
+that machinery at the level the testbed needs:
+
+* :mod:`repro.security.certificates` -- the credential chain (root CA,
+  authorization authority, authorization tickets) with validity
+  periods and a *simulated* signature primitive (HMAC-style digests
+  over key identifiers -- no real cryptography, but unforgeable within
+  the simulation);
+* :mod:`repro.security.signer` -- the secured-message envelope:
+  signing profiles (certificate vs digest attached), verification
+  with certificate learning, and the CPU-time cost model of
+  sign/verify on embedded hardware;
+* :mod:`repro.security.pseudonyms` -- pseudonym pools and the
+  time/distance change policy that unlinks a vehicle's transmissions.
+
+The emergency-braking timing ablation (`benchmarks/
+test_ablation_security.py`) quantifies what signing would add to the
+paper's unsecured stack.
+"""
+
+from repro.security.certificates import (
+    AuthorizationAuthority,
+    AuthorizationTicket,
+    Certificate,
+    KeyPair,
+    RootCa,
+    SecurityError,
+)
+from repro.security.signer import (
+    MessageSigner,
+    MessageVerifier,
+    SecuredMessage,
+    SignerInfo,
+    CryptoCostModel,
+)
+from repro.security.pseudonyms import PseudonymManager, PseudonymPolicy
+
+__all__ = [
+    "AuthorizationAuthority",
+    "AuthorizationTicket",
+    "Certificate",
+    "CryptoCostModel",
+    "KeyPair",
+    "MessageSigner",
+    "MessageVerifier",
+    "PseudonymManager",
+    "PseudonymPolicy",
+    "RootCa",
+    "SecuredMessage",
+    "SecurityError",
+    "SignerInfo",
+]

@@ -1,0 +1,103 @@
+"""The station-level security entity.
+
+Bridges the credential machinery into the GeoNetworking send/receive
+path: outbound payloads are signed under the current pseudonym (with
+the ECDSA CPU cost charged on the simulation clock), inbound secured
+packets are verified (cost charged likewise) and dropped when the
+chain or signature fails.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.security.certificates import (
+    AuthorizationAuthority,
+    SecurityError,
+    TrustStore,
+)
+from repro.security.pseudonyms import PseudonymManager, PseudonymPolicy
+from repro.security.signer import (
+    CryptoCostModel,
+    MessageSigner,
+    MessageVerifier,
+    SecuredMessage,
+)
+from repro.sim.kernel import Simulator
+
+
+class SecurityEntity:
+    """One station's signing + verification state."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        authority: AuthorizationAuthority,
+        trust_store: TrustStore,
+        rng: np.random.Generator,
+        cost_model: Optional[CryptoCostModel] = None,
+        policy: Optional[PseudonymPolicy] = None,
+    ):
+        self.sim = sim
+        self.rng = rng
+        self.cost = cost_model or CryptoCostModel()
+        self.pseudonyms = PseudonymManager(
+            authority, rng, now=sim.now, policy=policy)
+        self.signer = MessageSigner(self.pseudonyms.current)
+        self.verifier = MessageVerifier(trust_store)
+        self.dropped_invalid = 0
+        self.deferred_unknown_signer = 0
+
+    # ------------------------------------------------------------------
+    # Outbound
+    # ------------------------------------------------------------------
+
+    def sign_async(self, payload: bytes,
+                   done: Callable[[SecuredMessage], None]) -> None:
+        """Sign *payload*, charging CPU time, then call *done*."""
+        delay = self.cost.sign_time(self.rng)
+        self.sim.schedule(
+            delay,
+            lambda: done(self.signer.sign(payload, self.sim.now)))
+
+    # ------------------------------------------------------------------
+    # Inbound
+    # ------------------------------------------------------------------
+
+    def verify_async(self, message: SecuredMessage,
+                     accept: Callable[[bytes], None],
+                     reject: Optional[Callable[[SecurityError], None]]
+                     = None) -> None:
+        """Verify *message*, charging CPU time, then accept/reject."""
+        delay = self.cost.verify_time(self.rng)
+
+        def run() -> None:
+            try:
+                payload = self.verifier.verify(message, self.sim.now)
+            except SecurityError as err:
+                if "unknown signer" in str(err):
+                    self.deferred_unknown_signer += 1
+                else:
+                    self.dropped_invalid += 1
+                if reject is not None:
+                    reject(err)
+                return
+            accept(payload)
+
+        self.sim.schedule(delay, run)
+
+    # ------------------------------------------------------------------
+    # Pseudonym rotation
+    # ------------------------------------------------------------------
+
+    def maybe_rotate(self, odometer: float) -> Optional[int]:
+        """Apply the change policy; returns the new station ID if
+        rotated."""
+        change = self.pseudonyms.maybe_change(self.sim.now, odometer)
+        if change is None:
+            return None
+        ticket, station_id = change
+        self.signer.set_ticket(ticket)
+        return station_id

@@ -1,0 +1,113 @@
+"""Pseudonym management (TS 102 941 flavour).
+
+A vehicle holds a pool of Authorization Tickets and periodically
+switches the one it signs with, so its transmissions cannot be linked
+over time.  The change policy combines a minimum hold time with a
+travelled-distance trigger; on change the station also rotates its
+station ID (the LDM key other stations track it under).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.security.certificates import (
+    AuthorizationAuthority,
+    AuthorizationTicket,
+    SecurityError,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class PseudonymPolicy:
+    """When to change pseudonyms."""
+
+    #: Minimum seconds a pseudonym stays in use.
+    min_hold_time: float = 300.0
+    #: Change after travelling this many metres (0 disables).
+    change_distance: float = 800.0
+    #: Refill the pool when it drops below this many tickets.
+    low_watermark: int = 3
+    #: Tickets requested per refill.
+    refill_count: int = 10
+    #: Lifetime requested per ticket (s).
+    ticket_lifetime: float = 3600.0
+
+
+class PseudonymManager:
+    """Owns a station's ticket pool and change schedule."""
+
+    def __init__(
+        self,
+        authority: AuthorizationAuthority,
+        rng: np.random.Generator,
+        now: float = 0.0,
+        policy: Optional[PseudonymPolicy] = None,
+        station_id_source: Optional[Callable[[], int]] = None,
+    ):
+        self.authority = authority
+        self.rng = rng
+        self.policy = policy or PseudonymPolicy()
+        self._station_id_source = station_id_source or (
+            lambda: int(rng.integers(1, 2**32 - 1)))
+        self._pool: List[AuthorizationTicket] = []
+        self._changed_at = now
+        self._odometer_at_change = 0.0
+        self.changes = 0
+        self._refill(now)
+        self._current = self._pool.pop()
+        self.station_id = self._station_id_source()
+
+    @property
+    def current(self) -> AuthorizationTicket:
+        """The ticket currently used for signing."""
+        return self._current
+
+    @property
+    def pool_size(self) -> int:
+        """Unused tickets remaining."""
+        return len(self._pool)
+
+    def _refill(self, now: float) -> None:
+        for _ in range(self.policy.refill_count):
+            self._pool.append(self.authority.issue_ticket(
+                self.rng, now, self.policy.ticket_lifetime))
+
+    def should_change(self, now: float, odometer: float) -> bool:
+        """Whether the policy calls for a pseudonym change."""
+        held = now - self._changed_at
+        if held < self.policy.min_hold_time:
+            return False
+        if self.policy.change_distance <= 0:
+            return True
+        travelled = odometer - self._odometer_at_change
+        return travelled >= self.policy.change_distance
+
+    def maybe_change(self, now: float, odometer: float,
+                     ) -> Optional[Tuple[AuthorizationTicket, int]]:
+        """Change pseudonym if due; returns (ticket, new station id)."""
+        if not self.should_change(now, odometer):
+            return None
+        return self.force_change(now, odometer)
+
+    def force_change(self, now: float, odometer: float = 0.0,
+                     ) -> Tuple[AuthorizationTicket, int]:
+        """Switch to a fresh ticket unconditionally."""
+        if len(self._pool) < self.policy.low_watermark:
+            self._refill(now)
+        # Drop expired tickets before drawing.
+        self._pool = [t for t in self._pool
+                      if t.certificate.is_valid_at(now)]
+        if not self._pool:
+            self._refill(now)
+        if not self._pool:
+            raise SecurityError("pseudonym pool exhausted")
+        self._current = self._pool.pop()
+        self.station_id = self._station_id_source()
+        self._changed_at = now
+        self._odometer_at_change = odometer
+        self.changes += 1
+        return (self._current, self.station_id)

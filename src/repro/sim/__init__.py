@@ -1,0 +1,37 @@
+"""Discrete-event simulation kernel.
+
+This package replaces the physical time base of the original testbed
+(four NTP-synchronised devices) with a deterministic discrete-event
+simulator.  It provides:
+
+* :class:`~repro.sim.kernel.Simulator` -- the event loop;
+* :class:`~repro.sim.process.Process` -- generator-based simulated
+  processes (a small simpy-like facility);
+* :class:`~repro.sim.clock.DeviceClock` -- per-device clocks with offset,
+  drift and NTP discipline, so that cross-device timestamping exhibits
+  the same artefacts as the paper's measurement setup;
+* :class:`~repro.sim.randomness.RandomStreams` -- named, reproducible
+  random substreams.
+"""
+
+from repro.sim.kernel import Event, Simulator, SimulationError
+from repro.sim.process import Process, Timeout, Waiter, AllOf, AnyOf
+from repro.sim.clock import DeviceClock, NtpModel
+from repro.sim.randomness import RandomStreams
+from repro.sim.resources import Resource, Store
+
+__all__ = [
+    "Event",
+    "Simulator",
+    "SimulationError",
+    "Process",
+    "Timeout",
+    "Waiter",
+    "AllOf",
+    "AnyOf",
+    "DeviceClock",
+    "NtpModel",
+    "RandomStreams",
+    "Resource",
+    "Store",
+]

@@ -1,0 +1,116 @@
+"""Per-device clocks with NTP discipline.
+
+The paper's end-to-end latency measurement (Table II) relies on
+timestamps collected on four different devices (edge node, RSU, OBU,
+vehicle ECU), "connected to a Network Time Protocol server to reliably
+collect timestamps".  NTP over a LAN typically disciplines clocks to
+within a fraction of a millisecond but leaves a small residual offset
+and jitter; intervals computed across two devices inherit that error.
+
+:class:`DeviceClock` models exactly this: each device has
+
+* a residual *offset* from true (simulated) time, drawn once per device
+  from a zero-mean normal distribution;
+* a frequency *drift* (ppm) that slowly moves the offset between NTP
+  corrections;
+* periodic NTP *correction* events that re-pull the offset towards zero
+  with some remaining error;
+* optional per-read *jitter* modelling timestamping granularity.
+
+A perfectly synchronised clock is obtained with ``NtpModel.ideal()``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+import numpy as np
+
+from repro.sim.kernel import Simulator
+
+
+@dataclasses.dataclass(frozen=True)
+class NtpModel:
+    """Parameters of the clock-synchronisation model.
+
+    Attributes:
+        initial_offset_std: std-dev (s) of the residual offset right
+            after an NTP correction.  LAN NTP: ~0.2 ms.
+        drift_ppm_std: std-dev of the per-device frequency error, in
+            parts-per-million.
+        poll_interval: seconds between NTP corrections.
+        read_jitter_std: std-dev (s) of per-read timestamp noise
+            (scheduler/timestamping granularity).
+    """
+
+    initial_offset_std: float = 0.2e-3
+    drift_ppm_std: float = 5.0
+    poll_interval: float = 64.0
+    read_jitter_std: float = 0.05e-3
+
+    @staticmethod
+    def ideal() -> "NtpModel":
+        """A model with zero offset, drift and jitter (true-time clock)."""
+        return NtpModel(0.0, 0.0, 64.0, 0.0)
+
+    @staticmethod
+    def lan_default() -> "NtpModel":
+        """Typical LAN NTP residuals, matching the paper's setup."""
+        return NtpModel()
+
+
+class DeviceClock:
+    """A device's view of wall time, as disciplined by NTP.
+
+    Call :meth:`now` to obtain the device-local timestamp for the
+    current simulated instant.  True simulated time is always available
+    as ``sim.now``; the difference is the measurement error the paper's
+    methodology inherits.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rng: np.random.Generator,
+        model: Optional[NtpModel] = None,
+        name: str = "clock",
+    ):
+        self.sim = sim
+        self.name = name
+        self.model = model or NtpModel.ideal()
+        self._rng = rng
+        self._offset = float(rng.normal(0.0, self.model.initial_offset_std)) \
+            if self.model.initial_offset_std > 0 else 0.0
+        self._drift = float(rng.normal(0.0, self.model.drift_ppm_std)) * 1e-6 \
+            if self.model.drift_ppm_std > 0 else 0.0
+        self._last_correction = sim.now
+        if self.model.poll_interval > 0 and (
+            self.model.initial_offset_std > 0 or self.model.drift_ppm_std > 0
+        ):
+            self._schedule_correction()
+
+    @property
+    def offset(self) -> float:
+        """Current total offset (s) of this clock from true time."""
+        elapsed = self.sim.now - self._last_correction
+        return self._offset + self._drift * elapsed
+
+    def now(self) -> float:
+        """Device-local timestamp for the current simulated instant."""
+        reading = self.sim.now + self.offset
+        if self.model.read_jitter_std > 0:
+            reading += float(self._rng.normal(0.0, self.model.read_jitter_std))
+        return reading
+
+    def _schedule_correction(self) -> None:
+        self.sim.schedule(self.model.poll_interval, self._correct)
+
+    def _correct(self) -> None:
+        # NTP steers the clock back towards true time, leaving a fresh
+        # residual error.
+        self._offset = float(
+            self._rng.normal(0.0, self.model.initial_offset_std)
+        )
+        self._last_correction = self.sim.now
+        self._schedule_correction()

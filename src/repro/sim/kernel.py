@@ -1,0 +1,197 @@
+"""Discrete-event simulation kernel.
+
+The kernel is a classic calendar-queue event loop: callbacks are
+scheduled at absolute simulated times and executed in (time, insertion
+order) order.  All simulated subsystems -- radios, HTTP servers, vehicle
+dynamics integrators, camera frame clocks -- hang off a single
+:class:`Simulator` instance, which guarantees a total order of events
+and therefore full determinism for a given seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from typing import Any, Callable, List, Optional, Tuple
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (scheduling in the past, etc.)."""
+
+
+class Event:
+    """A one-shot occurrence that callbacks and processes can wait on.
+
+    An :class:`Event` starts *pending*; it is either *succeeded* (with an
+    optional value) or *failed* (with an exception).  Callbacks attached
+    via :meth:`add_callback` run when the event fires.  Events are the
+    synchronisation primitive used by :mod:`repro.sim.process`.
+    """
+
+    __slots__ = ("sim", "_callbacks", "_ok", "_value", "_defused")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self._callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._ok: Optional[bool] = None
+        self._value: Any = None
+        self._defused = False
+
+    @property
+    def triggered(self) -> bool:
+        """Whether the event has fired (successfully or not)."""
+        return self._ok is not None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the event fired successfully.  False while pending."""
+        return bool(self._ok)
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or exception, if it failed)."""
+        return self._value
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Attach *callback*; runs immediately if the event already fired."""
+        if self._callbacks is None:
+            # Already dispatched: run on next kernel step to preserve
+            # event ordering guarantees.
+            self.sim.schedule(0.0, lambda: callback(self))
+        else:
+            self._callbacks.append(callback)
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Fire the event successfully, delivering *value* to waiters."""
+        if self._ok is not None:
+            raise SimulationError("event already triggered")
+        self._ok = True
+        self._value = value
+        self._dispatch()
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Fire the event with *exception*; waiters will see it raised."""
+        if self._ok is not None:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self._dispatch()
+        return self
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled so the kernel will not re-raise."""
+        self._defused = True
+
+    def _dispatch(self) -> None:
+        callbacks, self._callbacks = self._callbacks, None
+        assert callbacks is not None
+        for callback in callbacks:
+            self.sim.schedule(0.0, lambda cb=callback: cb(self))
+        if self._ok is False and not callbacks and not self._defused:
+            # Nobody is listening for the failure: surface it.
+            self.sim._pending_failures.append(self._value)
+
+
+class Simulator:
+    """The discrete-event loop.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.schedule(1.5, lambda: print("fires at t=1.5"))
+        sim.run_until(10.0)
+
+    Time is a float in **seconds**.  Events scheduled at the same time
+    run in insertion order.
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._queue: List[Tuple[float, int, Callable[[], None]]] = []
+        self._counter = itertools.count()
+        self._running = False
+        self._pending_failures: List[BaseException] = []
+        self._stopped = False
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Run *callback* after *delay* seconds of simulated time."""
+        if delay < 0 or math.isnan(delay):
+            raise SimulationError(f"cannot schedule with delay {delay!r}")
+        self.schedule_at(self._now + delay, callback)
+
+    def schedule_at(self, when: float, callback: Callable[[], None]) -> None:
+        """Run *callback* at absolute simulated time *when*."""
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={when} (now is t={self._now})"
+            )
+        heapq.heappush(self._queue, (when, next(self._counter), callback))
+
+    def event(self) -> Event:
+        """Create a fresh pending :class:`Event` bound to this simulator."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Event:
+        """An event that succeeds after *delay* seconds."""
+        ev = Event(self)
+        self.schedule(delay, lambda: ev.succeed(value))
+        return ev
+
+    def stop(self) -> None:
+        """Stop the run loop after the current event finishes."""
+        self._stopped = True
+
+    def step(self) -> bool:
+        """Execute the next scheduled event.  Returns False if none left."""
+        if not self._queue:
+            return False
+        when, _seq, callback = heapq.heappop(self._queue)
+        self._now = when
+        callback()
+        if self._pending_failures:
+            failure = self._pending_failures.pop(0)
+            self._pending_failures.clear()
+            raise failure
+        return True
+
+    def run(self, max_events: int = 10_000_000) -> None:
+        """Run until the event queue drains (or *max_events* executed)."""
+        self._stopped = False
+        executed = 0
+        while not self._stopped and self.step():
+            executed += 1
+            if executed >= max_events:
+                raise SimulationError(
+                    f"run() exceeded {max_events} events; likely a livelock"
+                )
+
+    def run_until(self, until: float, max_events: int = 10_000_000) -> None:
+        """Run events with time <= *until*, then set time to *until*."""
+        if until < self._now:
+            raise SimulationError(
+                f"run_until({until}) but now is t={self._now}"
+            )
+        self._stopped = False
+        executed = 0
+        while not self._stopped and self._queue and self._queue[0][0] <= until:
+            self.step()
+            executed += 1
+            if executed >= max_events:
+                raise SimulationError(
+                    f"run_until() exceeded {max_events} events; likely a livelock"
+                )
+        if not self._stopped:
+            self._now = until
+
+    def peek(self) -> float:
+        """Time of the next event, or +inf if the queue is empty."""
+        return self._queue[0][0] if self._queue else math.inf

@@ -1,0 +1,210 @@
+"""Generator-based simulated processes.
+
+A process is a Python generator that yields *waitables*:
+
+* ``Timeout(dt)`` or any :class:`~repro.sim.kernel.Event` -- resume when
+  it fires, receiving its value;
+* another :class:`Process` -- resume when that process returns;
+* ``AllOf([...])`` / ``AnyOf([...])`` -- barrier / first-of combinators.
+
+Example::
+
+    def courier(sim, mailbox):
+        yield Timeout(0.5)
+        mailbox.append(sim.now)
+
+    sim = Simulator()
+    Process(sim, courier(sim, box))
+    sim.run()
+
+This mirrors how the original testbed's components are naturally
+expressed (pollers, periodic beacons, state machines with delays).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Iterable, List, Optional
+
+from repro.sim.kernel import Event, SimulationError, Simulator
+
+
+class Timeout:
+    """Sugar for "sleep *delay* simulated seconds" inside a process."""
+
+    __slots__ = ("delay", "value")
+
+    def __init__(self, delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout {delay!r}")
+        self.delay = delay
+        self.value = value
+
+
+class Waiter(Event):
+    """An externally-triggered event with convenience trigger methods.
+
+    A ``Waiter`` is just an :class:`Event` that application code keeps a
+    reference to, e.g. a "message arrived" notification slot.
+    """
+
+
+class AllOf:
+    """Yieldable barrier: resumes when every child event has fired."""
+
+    __slots__ = ("events",)
+
+    def __init__(self, events: Iterable[Event]):
+        self.events = list(events)
+
+
+class AnyOf:
+    """Yieldable race: resumes when the first child event fires."""
+
+    __slots__ = ("events",)
+
+    def __init__(self, events: Iterable[Event]):
+        self.events = list(events)
+
+
+class Interrupt(Exception):
+    """Raised inside a process that another process interrupted."""
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Process(Event):
+    """Drives a generator as a simulated process.
+
+    The process object itself is an :class:`Event` that succeeds with the
+    generator's return value, so processes can wait on each other.
+    """
+
+    def __init__(self, sim: Simulator, generator: Generator, name: str = ""):
+        super().__init__(sim)
+        if not hasattr(generator, "send"):
+            raise TypeError("Process requires a generator")
+        self.name = name or getattr(generator, "__name__", "process")
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        self._alive = True
+        sim.schedule(0.0, lambda: self._resume(None, None))
+
+    @property
+    def is_alive(self) -> bool:
+        """Whether the underlying generator has not yet finished."""
+        return self._alive
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its wait point."""
+        if not self._alive:
+            return
+        waiting, self._waiting_on = self._waiting_on, None
+        self.sim.schedule(0.0, lambda: self._resume(None, Interrupt(cause)))
+        # The event we were waiting on may still fire later; _resume
+        # ignores stale wakeups via the _waiting_on handshake.
+        if waiting is not None:
+            self._detach_token = waiting  # kept for introspection only
+
+    def _resume(self, value: Any, exc: Optional[BaseException]) -> None:
+        if not self._alive:
+            return
+        try:
+            if exc is not None:
+                target = self._generator.throw(exc)
+            else:
+                target = self._generator.send(value)
+        except StopIteration as stop:
+            self._alive = False
+            self.succeed(getattr(stop, "value", None))
+            return
+        except BaseException as failure:  # noqa: BLE001 - process crashed
+            self._alive = False
+            self.fail(failure)
+            return
+        try:
+            self._wait_on(target)
+        except SimulationError as failure:
+            self._generator.close()
+            self._alive = False
+            self.fail(failure)
+
+    def _wait_on(self, target: Any) -> None:
+        event = self._as_event(target)
+        self._waiting_on = event
+
+        def wake(ev: Event, expected: Event = event) -> None:
+            if self._waiting_on is not expected:
+                return  # stale wakeup after an interrupt
+            self._waiting_on = None
+            if ev.ok:
+                self._resume(ev.value, None)
+            else:
+                ev.defuse()
+                self._resume(None, ev.value)
+
+        event.add_callback(wake)
+
+    def _as_event(self, target: Any) -> Event:
+        if isinstance(target, Event):
+            return target
+        if isinstance(target, Timeout):
+            return self.sim.timeout(target.delay, target.value)
+        if isinstance(target, AllOf):
+            return _all_of(self.sim, target.events)
+        if isinstance(target, AnyOf):
+            return _any_of(self.sim, target.events)
+        raise SimulationError(
+            f"process {self.name!r} yielded non-waitable {target!r}"
+        )
+
+
+def _all_of(sim: Simulator, events: List[Event]) -> Event:
+    gate = sim.event()
+    remaining = [len(events)]
+    values: List[Any] = [None] * len(events)
+    if not events:
+        sim.schedule(0.0, lambda: gate.succeed([]))
+        return gate
+
+    def arm(index: int, event: Event) -> None:
+        def on_fire(ev: Event) -> None:
+            if gate.triggered:
+                return
+            if not ev.ok:
+                ev.defuse()
+                gate.fail(ev.value)
+                return
+            values[index] = ev.value
+            remaining[0] -= 1
+            if remaining[0] == 0:
+                gate.succeed(list(values))
+
+        event.add_callback(on_fire)
+
+    for i, ev in enumerate(events):
+        arm(i, ev)
+    return gate
+
+
+def _any_of(sim: Simulator, events: List[Event]) -> Event:
+    gate = sim.event()
+    if not events:
+        sim.schedule(0.0, lambda: gate.succeed(None))
+        return gate
+
+    def on_fire(ev: Event) -> None:
+        if gate.triggered:
+            if not ev.ok:
+                ev.defuse()
+            return
+        if ev.ok:
+            gate.succeed(ev.value)
+        else:
+            ev.defuse()
+            gate.fail(ev.value)
+
+    for ev in events:
+        ev.add_callback(on_fire)
+    return gate

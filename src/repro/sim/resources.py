@@ -1,0 +1,123 @@
+"""Synchronisation primitives for simulated processes.
+
+Complement to :mod:`repro.sim.process`:
+
+* :class:`Resource` -- a counted capacity (a CPU, a radio front-end, a
+  worker pool); processes ``yield resource.acquire()`` and must
+  ``release()`` when done;
+* :class:`Store` -- an unbounded or bounded FIFO of items; producers
+  ``put``, consumers ``yield store.get()``.
+
+Both hand out plain :class:`~repro.sim.kernel.Event` objects, so they
+compose with ``AllOf``/``AnyOf`` and timeouts.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, List, Optional
+
+from repro.sim.kernel import Event, SimulationError, Simulator
+
+
+class Resource:
+    """A counted resource with FIFO acquisition order."""
+
+    def __init__(self, sim: Simulator, capacity: int = 1):
+        if capacity < 1:
+            raise SimulationError(
+                f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: Deque[Event] = deque()
+        self.acquired_total = 0
+
+    @property
+    def in_use(self) -> int:
+        """Units currently held."""
+        return self._in_use
+
+    @property
+    def available(self) -> int:
+        """Units free right now."""
+        return self.capacity - self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        """Processes waiting to acquire."""
+        return len(self._waiters)
+
+    def acquire(self) -> Event:
+        """An event that fires when a unit is granted to the caller."""
+        grant = self.sim.event()
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            self.acquired_total += 1
+            self.sim.schedule(0.0, lambda: grant.succeed(self))
+        else:
+            self._waiters.append(grant)
+        return grant
+
+    def release(self) -> None:
+        """Return one unit; the longest waiter (if any) gets it."""
+        if self._in_use <= 0:
+            raise SimulationError("release() without a matching acquire")
+        if self._waiters:
+            grant = self._waiters.popleft()
+            self.acquired_total += 1
+            self.sim.schedule(0.0, lambda: grant.succeed(self))
+        else:
+            self._in_use -= 1
+
+
+class Store:
+    """A FIFO of items with optional capacity.
+
+    ``put`` never blocks on an unbounded store; on a bounded store it
+    returns False (and drops the item) when full -- a deliberate
+    drop-tail semantic that suits network queues.  ``get`` returns an
+    event that fires with the oldest item.
+    """
+
+    def __init__(self, sim: Simulator, capacity: Optional[int] = None):
+        if capacity is not None and capacity < 1:
+            raise SimulationError(
+                f"capacity must be >= 1 or None, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self.put_total = 0
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> bool:
+        """Add *item*; False if a bounded store dropped it."""
+        if self._getters:
+            getter = self._getters.popleft()
+            self.put_total += 1
+            self.sim.schedule(0.0, lambda: getter.succeed(item))
+            return True
+        if self.capacity is not None and len(self._items) >= self.capacity:
+            self.dropped += 1
+            return False
+        self._items.append(item)
+        self.put_total += 1
+        return True
+
+    def get(self) -> Event:
+        """An event that fires with the next item (FIFO)."""
+        event = self.sim.event()
+        if self._items:
+            item = self._items.popleft()
+            self.sim.schedule(0.0, lambda: event.succeed(item))
+        else:
+            self._getters.append(event)
+        return event
+
+    def peek_all(self) -> List[Any]:
+        """Snapshot of queued items (oldest first), for inspection."""
+        return list(self._items)

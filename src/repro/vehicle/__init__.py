@@ -1,0 +1,54 @@
+"""The 1/10-scale robotic vehicle (CopaDrive / F1Tenth heritage).
+
+Subsystems mirror Figure 5 of the paper:
+
+* :mod:`repro.vehicle.dynamics` -- Traxxas chassis: kinematic bicycle
+  steering + longitudinal powertrain/braking model;
+* :mod:`repro.vehicle.track` -- the guide line on the floor;
+* :mod:`repro.vehicle.ros` -- a minimal ROS-like pub/sub middleware
+  (the Jetson TX2 side);
+* :mod:`repro.vehicle.sensors` -- ZED camera, LiDAR and IMU models;
+* :mod:`repro.vehicle.pid` -- the steering PID controller;
+* :mod:`repro.vehicle.line_follow` -- Canny + Hough line detection
+  node (Figure 6's pipeline);
+* :mod:`repro.vehicle.motion_planner` -- steering decisions + the
+  emergency-stop entry point;
+* :mod:`repro.vehicle.control` -- the Control module and the
+  Teensy/USART/ESC actuation path;
+* :mod:`repro.vehicle.message_handler` -- the Python script polling
+  the OBU's ``/request_denm`` endpoint;
+* :mod:`repro.vehicle.robot` -- the assembled vehicle.
+"""
+
+from repro.vehicle.dynamics import VehicleDynamics, VehicleParams, VehicleState
+from repro.vehicle.track import CircularTrack, StraightTrack, Track
+from repro.vehicle.ros import RosGraph, RosTopic
+from repro.vehicle.pid import PidController
+from repro.vehicle.sensors import Imu, Lidar, ZedCamera
+from repro.vehicle.line_follow import LineDetectionNode, LineEstimate
+from repro.vehicle.motion_planner import MotionPlanner
+from repro.vehicle.control import ActuationPath, ControlModule
+from repro.vehicle.message_handler import MessageHandler
+from repro.vehicle.robot import RoboticVehicle
+
+__all__ = [
+    "ActuationPath",
+    "CircularTrack",
+    "ControlModule",
+    "Imu",
+    "Lidar",
+    "LineDetectionNode",
+    "LineEstimate",
+    "MessageHandler",
+    "MotionPlanner",
+    "PidController",
+    "RoboticVehicle",
+    "RosGraph",
+    "RosTopic",
+    "StraightTrack",
+    "Track",
+    "VehicleDynamics",
+    "VehicleParams",
+    "VehicleState",
+    "ZedCamera",
+]

@@ -1,0 +1,108 @@
+"""The Message Handler: the Python script polling the OBU.
+
+Paper, Section III-D2: "a Python script running at the Jetson TX2 is
+constantly communicating with the OpenC2X's HTTP API hosted at the
+OBU, through POST requests sent to ``/request_denm``.  If no DENM is
+found, it only returns an HTTP 200 success status code.  If a DENM was
+received by the OBU ... power to the wheels is interrupted by the
+control logic at the Jetson, stopping the car."
+
+The handler issues one poll, waits for the response, sleeps
+``poll_interval`` and repeats.  The poll interval directly bounds the
+step-4 -> step-5 latency (ablation A2 sweeps it).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.openc2x.http import HttpClient, HttpResponse, HttpServer
+from repro.sim.kernel import Simulator
+from repro.sim.process import Process, Timeout
+from repro.vehicle.motion_planner import MotionPlanner
+
+EventHook = Callable[[str, Dict[str, Any]], None]
+
+
+class MessageHandler:
+    """Polls the OBU's ``/request_denm`` endpoint and triggers stops."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        obu_server: HttpServer,
+        planner: MotionPlanner,
+        rng: Optional[np.random.Generator] = None,
+        poll_interval: float = 0.02,
+        stop_on_denm: bool = True,
+        resume_on_termination: bool = False,
+        enabled: bool = True,
+    ):
+        self.sim = sim
+        self.obu_server = obu_server
+        self.planner = planner
+        self.poll_interval = poll_interval
+        self.stop_on_denm = stop_on_denm
+        self.resume_on_termination = resume_on_termination
+        self.client = HttpClient(sim, rng or np.random.default_rng(0),
+                                 name="message-handler")
+        self._hooks: List[EventHook] = []
+        self.polls = 0
+        self.timeouts = 0
+        self.denms_handled = 0
+        self.last_denm: Optional[Dict[str, Any]] = None
+        self._running = False
+        if enabled:
+            self.start()
+
+    def start(self) -> None:
+        """Start the polling loop (idempotent)."""
+        if self._running:
+            return
+        self._running = True
+        Process(self.sim, self._poll_loop(), name="message-handler")
+
+    def stop(self) -> None:
+        """Stop polling after the in-flight request completes."""
+        self._running = False
+
+    def on_event(self, hook: EventHook) -> None:
+        """Register a measurement hook (``denm_handled`` events)."""
+        self._hooks.append(hook)
+
+    def _emit(self, event: str, **fields: Any) -> None:
+        record = {"sim_time": self.sim.now}
+        record.update(fields)
+        for hook in self._hooks:
+            hook(event, record)
+
+    #: Give up on a poll after this long (lost request/response).
+    REQUEST_TIMEOUT = 0.5
+
+    def _poll_loop(self):
+        while self._running:
+            self.polls += 1
+            response: HttpResponse = yield self.client.post(
+                self.obu_server, "/request_denm",
+                timeout=self.REQUEST_TIMEOUT)
+            if response.status == self.client.TIMEOUT_STATUS:
+                self.timeouts += 1
+            elif response.ok and "denm" in response.body:
+                self._handle_denm(response.body["denm"])
+            yield Timeout(self.poll_interval)
+
+    def _handle_denm(self, denm_json: Dict[str, Any]) -> None:
+        self.denms_handled += 1
+        self.last_denm = denm_json
+        self._emit("denm_handled", denm=denm_json)
+        if denm_json.get("termination") is not None:
+            # All-clear: resume driving if configured to.
+            if self.resume_on_termination and hasattr(self.planner,
+                                                      "resume"):
+                self.planner.resume()
+            return
+        if not self.stop_on_denm:
+            return
+        self.planner.emergency_stop(reason="denm")

@@ -1,0 +1,84 @@
+"""The Motion Planner.
+
+Decides steering from line estimates via a PID controller (the paper's
+"a Proportional-Integral-Derivative (PID) controller is implemented"),
+maintains the cruise throttle, and exposes the emergency-stop entry
+point that the Message Handler invokes when a DENM arrives.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim.kernel import Simulator
+from repro.vehicle.control import ControlModule
+from repro.vehicle.line_follow import LineEstimate
+from repro.vehicle.pid import PidController
+
+
+class MotionPlanner:
+    """Line estimates -> steering commands; DENMs -> emergency stop."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        control: ControlModule,
+        cruise_throttle: float = 0.25,
+        pid: Optional[PidController] = None,
+        heading_weight: float = 0.45,
+        max_steering: float = 0.5,
+    ):
+        self.sim = sim
+        self.control = control
+        self.cruise_throttle = cruise_throttle
+        # Tuned for the renderer/track geometry: aggressive P with a
+        # touch of D keeps the lab-scale car within centimetres.
+        self.pid = pid or PidController(
+            kp=2.2, ki=0.15, kd=0.25,
+            output_limit=max_steering, integral_limit=0.3)
+        self.heading_weight = heading_weight
+        self.estimates_received = 0
+        self.blind_frames = 0
+        self.emergency_engaged = False
+        self.emergency_reason: Optional[str] = None
+        self._last_steering = 0.0
+
+    def start(self) -> None:
+        """Begin driving: apply the cruise throttle."""
+        self.control.command_throttle(self.cruise_throttle)
+
+    def on_line_estimate(self, estimate: LineEstimate) -> None:
+        """Topic callback from the Line Detection node."""
+        if self.emergency_engaged:
+            return
+        self.estimates_received += 1
+        if not estimate.line_visible:
+            # Keep the last steering command; the line will reappear.
+            self.blind_frames += 1
+            self.control.command_steering(self._last_steering)
+            return
+        # Combined tracking error: lateral offset plus weighted heading
+        # (both push the same steering direction).
+        error = (estimate.lateral_offset
+                 + self.heading_weight * estimate.heading_error)
+        steering = self.pid.update(error, self.sim.now)
+        self._last_steering = steering
+        self.control.command_steering(steering)
+
+    def emergency_stop(self, reason: str = "denm") -> None:
+        """Engage the emergency braking procedure (idempotent)."""
+        if self.emergency_engaged:
+            return
+        self.emergency_engaged = True
+        self.emergency_reason = reason
+        self.control.emergency_stop(reason)
+
+    def resume(self) -> None:
+        """Release a stop and drive on (e.g. the light turned green)."""
+        if not self.emergency_engaged:
+            return
+        self.emergency_engaged = False
+        self.emergency_reason = None
+        self.pid.reset()
+        self.control.release()
+        self.control.command_throttle(self.cruise_throttle)

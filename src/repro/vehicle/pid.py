@@ -1,0 +1,64 @@
+"""A PID controller with anti-windup, used for steering."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+
+@dataclasses.dataclass
+class PidController:
+    """Discrete PID with clamped integral term.
+
+    Call :meth:`update` with the current error and timestamp; gains
+    act on error (P), its integral (I) and its derivative (D).
+    """
+
+    kp: float
+    ki: float = 0.0
+    kd: float = 0.0
+    output_limit: Optional[float] = None
+    integral_limit: Optional[float] = None
+
+    _integral: float = dataclasses.field(default=0.0, init=False)
+    _last_error: Optional[float] = dataclasses.field(default=None, init=False)
+    _last_time: Optional[float] = dataclasses.field(default=None, init=False)
+
+    def update(self, error: float, now: float) -> float:
+        """One controller step; returns the control output."""
+        dt = 0.0
+        if self._last_time is not None:
+            dt = now - self._last_time
+            if dt < 0:
+                raise ValueError(
+                    f"time went backwards: {self._last_time} -> {now}")
+        derivative = 0.0
+        if dt > 0:
+            self._integral += error * dt
+            if self.integral_limit is not None:
+                self._integral = _clamp(self._integral,
+                                        self.integral_limit)
+            if self._last_error is not None:
+                derivative = (error - self._last_error) / dt
+        self._last_error = error
+        self._last_time = now
+        output = (self.kp * error + self.ki * self._integral
+                  + self.kd * derivative)
+        if self.output_limit is not None:
+            output = _clamp(output, self.output_limit)
+        return output
+
+    def reset(self) -> None:
+        """Clear the integral and derivative history."""
+        self._integral = 0.0
+        self._last_error = None
+        self._last_time = None
+
+    @property
+    def integral(self) -> float:
+        """The accumulated integral term (for inspection/tests)."""
+        return self._integral
+
+
+def _clamp(value: float, limit: float) -> float:
+    return max(-limit, min(limit, value))

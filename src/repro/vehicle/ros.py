@@ -1,0 +1,90 @@
+"""A minimal ROS-like publish/subscribe middleware.
+
+On the real platform, camera frames, detected lines and steering
+commands travel between nodes as ROS topics over localhost.  That
+transport is not free: serialisation + scheduling add a small,
+jittery latency to each hop, which contributes to the vehicle-side
+share of the paper's end-to-end delay.  The model delivers each
+published message to every subscriber after an independent latency
+draw, preserving per-subscriber FIFO order.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.sim.kernel import Simulator
+
+Callback = Callable[[Any], None]
+
+
+@dataclasses.dataclass(frozen=True)
+class RosConfig:
+    """Transport latency parameters."""
+
+    latency_mean: float = 0.4e-3
+    latency_std: float = 0.15e-3
+
+
+class RosTopic:
+    """One named topic."""
+
+    def __init__(self, graph: "RosGraph", name: str):
+        self.graph = graph
+        self.name = name
+        self._subscribers: List[Callback] = []
+        self._last_delivery: Dict[int, float] = {}
+        self.published = 0
+        self.delivered = 0
+
+    def subscribe(self, callback: Callback) -> None:
+        """Deliver every future message on this topic to *callback*."""
+        self._subscribers.append(callback)
+
+    def publish(self, message: Any) -> None:
+        """Send *message* to all current subscribers."""
+        self.published += 1
+        sim = self.graph.sim
+        for index, callback in enumerate(self._subscribers):
+            latency = self.graph.sample_latency()
+            # Preserve FIFO per subscriber: never deliver earlier than
+            # the previous message to the same subscriber.
+            earliest = self._last_delivery.get(index, 0.0)
+            deliver_at = max(sim.now + latency, earliest)
+            self._last_delivery[index] = deliver_at
+            sim.schedule_at(deliver_at,
+                            lambda cb=callback, m=message: self._deliver(
+                                cb, m))
+
+    def _deliver(self, callback: Callback, message: Any) -> None:
+        self.delivered += 1
+        callback(message)
+
+
+class RosGraph:
+    """The node graph: a registry of topics sharing one latency model."""
+
+    def __init__(self, sim: Simulator, rng: Optional[np.random.Generator]
+                 = None, config: Optional[RosConfig] = None):
+        self.sim = sim
+        self.rng = rng or np.random.default_rng(0)
+        self.config = config or RosConfig()
+        self._topics: Dict[str, RosTopic] = {}
+
+    def topic(self, name: str) -> RosTopic:
+        """Fetch (creating on first use) the topic called *name*."""
+        if name not in self._topics:
+            self._topics[name] = RosTopic(self, name)
+        return self._topics[name]
+
+    def sample_latency(self) -> float:
+        """One transport latency draw (s), never negative."""
+        return max(0.0, float(self.rng.normal(
+            self.config.latency_mean, self.config.latency_std)))
+
+    def topics(self) -> List[str]:
+        """Names of all topics created so far."""
+        return sorted(self._topics)

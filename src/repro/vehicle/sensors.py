@@ -1,0 +1,309 @@
+"""On-board sensors: ZED camera, LiDAR and IMU models.
+
+The camera produces real pixel frames (via :mod:`repro.vision.image`)
+at a configurable frame rate so that the actual Canny + Hough pipeline
+runs on them.  The LiDAR and IMU provide the additional modalities the
+platform carries (used by the onboard-only baseline and tests).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.sim.kernel import Simulator
+from repro.vehicle.dynamics import VehicleDynamics
+from repro.vehicle.track import Track
+from repro.vision.image import LineViewConfig, render_line_view
+
+
+@dataclasses.dataclass(frozen=True)
+class CameraFrame:
+    """One captured frame with its capture timestamp."""
+
+    image: np.ndarray
+    captured_at: float
+    sequence: int
+
+
+class ZedCamera:
+    """The vehicle's forward camera, looking at the guide line.
+
+    Renders what the camera would see given the vehicle's true pose
+    relative to the track, publishing frames on a ROS topic at
+    ``fps`` -- the Line Detection node consumes them.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        dynamics: VehicleDynamics,
+        track: Track,
+        publish: Callable[[CameraFrame], None],
+        fps: float = 15.0,
+        view: Optional[LineViewConfig] = None,
+        rng: Optional[np.random.Generator] = None,
+        enabled: bool = True,
+    ):
+        self.sim = sim
+        self.dynamics = dynamics
+        self.track = track
+        self.publish = publish
+        self.fps = fps
+        self.view = view or LineViewConfig()
+        self.rng = rng or np.random.default_rng(0)
+        self.frames_captured = 0
+        if enabled:
+            sim.schedule(1.0 / fps, self._capture)
+
+    def _capture(self) -> None:
+        state = self.dynamics.state
+        # Track convention: positive = left of / pointing left of the
+        # line.  Renderer convention: positive = right.  Negate both.
+        offset = -self.track.lateral_offset(state.x, state.y)
+        heading_error = -self.track.heading_error(
+            state.x, state.y, state.heading)
+        image = render_line_view(offset, heading_error, self.view, self.rng)
+        frame = CameraFrame(image=image, captured_at=self.sim.now,
+                            sequence=self.frames_captured)
+        self.frames_captured += 1
+        self.publish(frame)
+        self.sim.schedule(1.0 / self.fps, self._capture)
+
+
+@dataclasses.dataclass(frozen=True)
+class LidarScan:
+    """A planar scan: ranges (m) at evenly spaced bearings."""
+
+    ranges: Tuple[float, ...]
+    bearings: Tuple[float, ...]  # rad, relative to vehicle heading
+    captured_at: float
+
+
+class Lidar:
+    """The Hokuyo scanning LiDAR, reduced to obstacle ranging.
+
+    Obstacles are supplied as (x, y, radius) discs; each scan reports
+    the distance to the nearest disc along each bearing (capped at
+    ``max_range``).  The onboard-only collision-avoidance baseline
+    uses this sensor.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        dynamics: VehicleDynamics,
+        obstacles: Callable[[], List[Tuple[float, float, float]]],
+        publish: Callable[[LidarScan], None],
+        walls: Optional[Callable[[], List[Tuple[Tuple[float, float],
+                                               Tuple[float, float]]]]] = None,
+        rate_hz: float = 10.0,
+        fov: float = math.radians(180.0),
+        beams: int = 37,
+        max_range: float = 10.0,
+        noise_std: float = 0.01,
+        rng: Optional[np.random.Generator] = None,
+        enabled: bool = True,
+    ):
+        self.sim = sim
+        self.dynamics = dynamics
+        self.obstacles = obstacles
+        self.walls = walls or (lambda: [])
+        self.publish = publish
+        self.rate_hz = rate_hz
+        self.fov = fov
+        self.beams = beams
+        self.max_range = max_range
+        self.noise_std = noise_std
+        self.rng = rng or np.random.default_rng(0)
+        self.scans_captured = 0
+        if enabled:
+            sim.schedule(1.0 / rate_hz, self._scan)
+
+    def _scan(self) -> None:
+        state = self.dynamics.state
+        bearings = np.linspace(-self.fov / 2.0, self.fov / 2.0, self.beams)
+        obstacles = self.obstacles()
+        walls = self.walls()
+        ranges = []
+        for bearing in bearings:
+            direction = state.heading + bearing
+            best = self.max_range
+            # Walls block (and return) the beam.
+            for (x1, y1), (x2, y2) in walls:
+                hit = _ray_segment_distance(
+                    state.x, state.y, direction, x1, y1, x2, y2)
+                if hit is not None and hit < best:
+                    best = hit
+            for ox, oy, radius in obstacles:
+                hit = _ray_disc_distance(
+                    state.x, state.y, direction, ox, oy, radius)
+                if hit is not None and hit < best:
+                    best = hit
+            if self.noise_std > 0 and best < self.max_range:
+                best = max(0.0, best + float(self.rng.normal(
+                    0.0, self.noise_std)))
+            ranges.append(best)
+        scan = LidarScan(ranges=tuple(ranges),
+                         bearings=tuple(float(b) for b in bearings),
+                         captured_at=self.sim.now)
+        self.scans_captured += 1
+        self.publish(scan)
+        self.sim.schedule(1.0 / self.rate_hz, self._scan)
+
+
+@dataclasses.dataclass(frozen=True)
+class ImuSample:
+    """Body-frame inertial measurement."""
+
+    longitudinal_acceleration: float  # m/s^2
+    yaw_rate: float                   # rad/s
+    captured_at: float
+
+
+class Imu:
+    """A simple IMU: differentiated speed + bicycle-model yaw rate,
+    with white noise."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        dynamics: VehicleDynamics,
+        publish: Callable[[ImuSample], None],
+        rate_hz: float = 100.0,
+        accel_noise_std: float = 0.05,
+        gyro_noise_std: float = 0.005,
+        rng: Optional[np.random.Generator] = None,
+        enabled: bool = True,
+    ):
+        self.sim = sim
+        self.dynamics = dynamics
+        self.publish = publish
+        self.rate_hz = rate_hz
+        self.accel_noise_std = accel_noise_std
+        self.gyro_noise_std = gyro_noise_std
+        self.rng = rng or np.random.default_rng(0)
+        self._last_speed: Optional[float] = None
+        self._last_time: Optional[float] = None
+        self.samples_captured = 0
+        if enabled:
+            sim.schedule(1.0 / rate_hz, self._sample)
+
+    def _sample(self) -> None:
+        speed = self.dynamics.state.speed
+        now = self.sim.now
+        accel = 0.0
+        if self._last_time is not None and now > self._last_time:
+            accel = (speed - self._last_speed) / (now - self._last_time)
+        self._last_speed = speed
+        self._last_time = now
+        sample = ImuSample(
+            longitudinal_acceleration=accel + float(self.rng.normal(
+                0.0, self.accel_noise_std)),
+            yaw_rate=self.dynamics.yaw_rate() + float(self.rng.normal(
+                0.0, self.gyro_noise_std)),
+            captured_at=now,
+        )
+        self.samples_captured += 1
+        self.publish(sample)
+        self.sim.schedule(1.0 / self.rate_hz, self._sample)
+
+
+@dataclasses.dataclass(frozen=True)
+class GnssModel:
+    """GNSS position/velocity error model for CAM content.
+
+    Real OBUs fill CAMs from a GNSS receiver, not ground truth.  The
+    model uses a slowly-wandering bias (multipath / atmospheric error,
+    a first-order Gauss-Markov process) plus white per-fix noise --
+    the structure that makes consecutive fixes *correlated*, which is
+    what matters for anything that differentiates positions.
+    """
+
+    #: Standard deviation of the wandering bias (m); ~0.5-2 m typical.
+    bias_std: float = 0.8
+    #: Bias correlation time (s).
+    bias_tau: float = 30.0
+    #: White noise per fix (m).
+    noise_std: float = 0.15
+    #: Speed error per fix (m/s).
+    speed_noise_std: float = 0.05
+
+
+class GnssReceiver:
+    """Applies a :class:`GnssModel` to the vehicle's true state."""
+
+    def __init__(self, sim: Simulator, model: Optional[GnssModel] = None,
+                 rng: Optional[np.random.Generator] = None):
+        self.sim = sim
+        self.model = model or GnssModel()
+        self.rng = rng or np.random.default_rng(0)
+        self._bias = np.array([
+            self.rng.normal(0.0, self.model.bias_std),
+            self.rng.normal(0.0, self.model.bias_std),
+        ])
+        self._bias_updated = sim.now
+
+    def _advance_bias(self) -> None:
+        dt = self.sim.now - self._bias_updated
+        if dt <= 0:
+            return
+        # Exact discretisation of the Gauss-Markov process.
+        alpha = math.exp(-dt / self.model.bias_tau)
+        innovation_std = self.model.bias_std * math.sqrt(
+            max(0.0, 1.0 - alpha * alpha))
+        self._bias = alpha * self._bias + self.rng.normal(
+            0.0, innovation_std, size=2)
+        self._bias_updated = self.sim.now
+
+    def fix(self, true_x: float, true_y: float,
+            true_speed: float) -> Tuple[float, float, float]:
+        """One position/speed fix: (x, y, speed) with GNSS error."""
+        self._advance_bias()
+        x = true_x + self._bias[0] + float(self.rng.normal(
+            0.0, self.model.noise_std))
+        y = true_y + self._bias[1] + float(self.rng.normal(
+            0.0, self.model.noise_std))
+        speed = max(0.0, true_speed + float(self.rng.normal(
+            0.0, self.model.speed_noise_std)))
+        return (x, y, speed)
+
+
+def _ray_segment_distance(x: float, y: float, direction: float,
+                          x1: float, y1: float, x2: float, y2: float,
+                          ) -> Optional[float]:
+    """Distance from (x, y) along *direction* to a wall segment."""
+    dx = math.cos(direction)
+    dy = math.sin(direction)
+    ex = x2 - x1
+    ey = y2 - y1
+    denominator = dx * ey - dy * ex
+    if abs(denominator) < 1e-12:
+        return None  # parallel
+    t = ((x1 - x) * ey - (y1 - y) * ex) / denominator
+    u = ((x1 - x) * dy - (y1 - y) * dx) / denominator
+    if t < 0 or not 0.0 <= u <= 1.0:
+        return None
+    return t
+
+
+def _ray_disc_distance(x: float, y: float, direction: float,
+                       ox: float, oy: float, radius: float,
+                       ) -> Optional[float]:
+    """Distance from (x, y) along *direction* to a disc, or None."""
+    dx = math.cos(direction)
+    dy = math.sin(direction)
+    fx = ox - x
+    fy = oy - y
+    projection = fx * dx + fy * dy
+    if projection < 0:
+        return None
+    closest_sq = (fx * fx + fy * fy) - projection * projection
+    if closest_sq > radius * radius:
+        return None
+    offset = math.sqrt(radius * radius - closest_sq)
+    distance = projection - offset
+    return distance if distance >= 0 else 0.0

@@ -1,0 +1,99 @@
+"""The guide line on the laboratory floor.
+
+A track answers one question for the sensors: given the vehicle pose,
+what are the *true* lateral offset and heading error relative to the
+painted line?  The camera renderer turns those into pixels, closing
+the loop: dynamics -> track geometry -> rendered frame -> detected
+line -> steering.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Tuple
+
+
+class Track:
+    """Base class for guide-line geometries."""
+
+    def lateral_offset(self, x: float, y: float) -> float:
+        """Signed distance (m) from the line; positive = left of the
+        line when facing along it."""
+        raise NotImplementedError
+
+    def heading_error(self, x: float, y: float, heading: float) -> float:
+        """Vehicle heading minus local line heading, wrapped (rad)."""
+        raise NotImplementedError
+
+    def line_heading(self, x: float, y: float) -> float:
+        """The line's direction (rad) nearest to (x, y)."""
+        raise NotImplementedError
+
+    def progress(self, x: float, y: float) -> float:
+        """Arc-length style progress coordinate along the line (m)."""
+        raise NotImplementedError
+
+
+@dataclasses.dataclass(frozen=True)
+class StraightTrack(Track):
+    """A straight line through ``(x0, y0)`` with the given direction."""
+
+    x0: float = 0.0
+    y0: float = 0.0
+    direction: float = 0.0  # rad, +x by default
+
+    def lateral_offset(self, x: float, y: float) -> float:
+        dx = x - self.x0
+        dy = y - self.y0
+        # Left-of-line positive: cross product of direction with offset.
+        return (-math.sin(self.direction) * dx
+                + math.cos(self.direction) * dy)
+
+    def heading_error(self, x: float, y: float, heading: float) -> float:
+        return _wrap(heading - self.direction)
+
+    def line_heading(self, x: float, y: float) -> float:
+        return self.direction
+
+    def progress(self, x: float, y: float) -> float:
+        dx = x - self.x0
+        dy = y - self.y0
+        return (math.cos(self.direction) * dx
+                + math.sin(self.direction) * dy)
+
+
+@dataclasses.dataclass(frozen=True)
+class CircularTrack(Track):
+    """A circular closed circuit of the given radius (counter-clockwise)."""
+
+    centre_x: float = 0.0
+    centre_y: float = 0.0
+    radius: float = 3.0
+
+    def _polar(self, x: float, y: float) -> Tuple[float, float]:
+        dx = x - self.centre_x
+        dy = y - self.centre_y
+        return math.hypot(dx, dy), math.atan2(dy, dx)
+
+    def lateral_offset(self, x: float, y: float) -> float:
+        r, _phi = self._polar(x, y)
+        # Inside the circle = left of a counter-clockwise line.
+        return self.radius - r
+
+    def line_heading(self, x: float, y: float) -> float:
+        _r, phi = self._polar(x, y)
+        return _wrap(phi + math.pi / 2.0)
+
+    def heading_error(self, x: float, y: float, heading: float) -> float:
+        return _wrap(heading - self.line_heading(x, y))
+
+    def progress(self, x: float, y: float) -> float:
+        _r, phi = self._polar(x, y)
+        return (phi % (2 * math.pi)) * self.radius
+
+
+def _wrap(angle: float) -> float:
+    """Wrap to (-pi, pi]."""
+    wrapped = (angle + math.pi) % (2.0 * math.pi) - math.pi
+    return math.pi if wrapped == -math.pi else wrapped

@@ -1,0 +1,47 @@
+"""Gaussian smoothing and Sobel gradients."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+from scipy import ndimage
+
+
+def gaussian_kernel(sigma: float, radius: int = 0) -> np.ndarray:
+    """A normalised 1-D Gaussian kernel.
+
+    Args:
+        sigma: standard deviation in pixels.
+        radius: half-width; defaults to ``ceil(3 sigma)``.
+    """
+    if sigma <= 0:
+        raise ValueError(f"sigma must be positive, got {sigma}")
+    if radius <= 0:
+        radius = int(np.ceil(3.0 * sigma))
+    x = np.arange(-radius, radius + 1, dtype=float)
+    kernel = np.exp(-(x ** 2) / (2.0 * sigma ** 2))
+    return kernel / kernel.sum()
+
+
+def gaussian_blur(image: np.ndarray, sigma: float = 1.0) -> np.ndarray:
+    """Separable Gaussian blur with reflective borders."""
+    kernel = gaussian_kernel(sigma)
+    blurred = ndimage.convolve1d(image.astype(float), kernel, axis=0,
+                                 mode="reflect")
+    return ndimage.convolve1d(blurred, kernel, axis=1, mode="reflect")
+
+
+#: Sobel kernels (gradient along x = columns, y = rows).
+SOBEL_X = np.array([[-1, 0, 1],
+                    [-2, 0, 2],
+                    [-1, 0, 1]], dtype=float)
+SOBEL_Y = SOBEL_X.T
+
+
+def sobel_gradients(image: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Gradient images (gx, gy) via Sobel operators."""
+    img = image.astype(float)
+    gx = ndimage.convolve(img, SOBEL_X, mode="reflect")
+    gy = ndimage.convolve(img, SOBEL_Y, mode="reflect")
+    return gx, gy

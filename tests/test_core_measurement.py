@@ -1,0 +1,306 @@
+"""Tests for the step timeline, latency statistics and braking analysis."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    analyse_braking,
+    empirical_distribution,
+    fit_distributions,
+    froude_scale_distance,
+    full_scale_braking_distance,
+    FullScaleVehicle,
+    RunMeasurement,
+    StepTimeline,
+    Steps,
+    summarize,
+)
+from repro.core.braking import equivalent_friction, froude_scale_speed
+from repro.core.latency import edf_at
+from repro.core.measurement import video_frame_interval
+
+
+# ---------------------------------------------------------------------------
+# Step timeline
+# ---------------------------------------------------------------------------
+
+
+def make_timeline(offsets=None):
+    """A complete timeline; clock times = sim times + per-step offset."""
+    offsets = offsets or {}
+    timeline = StepTimeline()
+    times = {
+        Steps.ACTION_POINT: 1.000,
+        Steps.DETECTION: 1.100,
+        Steps.RSU_SENT: 1.128,
+        Steps.OBU_RECEIVED: 1.1296,
+        Steps.ACTUATORS: 1.159,
+        Steps.HALTED: 1.40,
+    }
+    for step, t in times.items():
+        timeline.record(step, sim_time=t,
+                        clock_time=t + offsets.get(step, 0.0))
+    return timeline
+
+
+class TestStepTimeline:
+    def test_complete(self):
+        assert make_timeline().complete
+
+    def test_incomplete(self):
+        timeline = StepTimeline()
+        timeline.record(Steps.DETECTION, sim_time=1.0, clock_time=1.0)
+        assert not timeline.complete
+        assert timeline.has(Steps.DETECTION)
+        assert not timeline.has(Steps.HALTED)
+
+    def test_first_record_wins(self):
+        timeline = StepTimeline()
+        timeline.record(Steps.DETECTION, sim_time=1.0, clock_time=1.0)
+        timeline.record(Steps.DETECTION, sim_time=2.0, clock_time=2.0)
+        assert timeline.get(Steps.DETECTION).sim_time == 1.0
+
+    def test_interval_ground_truth(self):
+        timeline = make_timeline()
+        assert timeline.interval(Steps.DETECTION, Steps.ACTUATORS,
+                                 use_clock=False) == pytest.approx(0.059)
+
+    def test_interval_clock_inherits_offsets(self):
+        timeline = make_timeline(offsets={Steps.RSU_SENT: 0.0005,
+                                          Steps.OBU_RECEIVED: -0.0005})
+        radio = timeline.interval(Steps.RSU_SENT, Steps.OBU_RECEIVED)
+        truth = timeline.interval(Steps.RSU_SENT, Steps.OBU_RECEIVED,
+                                  use_clock=False)
+        assert radio == pytest.approx(truth - 0.001)
+
+    def test_interval_missing_step_none(self):
+        timeline = StepTimeline()
+        timeline.record(Steps.DETECTION, sim_time=1.0)
+        assert timeline.interval(Steps.DETECTION, Steps.HALTED) is None
+
+    def test_detail_stored(self):
+        timeline = StepTimeline()
+        timeline.record(Steps.DETECTION, sim_time=1.0, label="stop sign")
+        assert timeline.get(Steps.DETECTION).detail["label"] == "stop sign"
+
+
+class TestRunMeasurement:
+    def test_table2_intervals(self):
+        run = RunMeasurement(run_id=1, timeline=make_timeline())
+        intervals = run.intervals_ms(use_clock=False)
+        assert intervals["detection_to_send"] == pytest.approx(28.0)
+        assert intervals["send_to_receive"] == pytest.approx(1.6)
+        assert intervals["receive_to_actuation"] == pytest.approx(29.4)
+        assert intervals["total"] == pytest.approx(59.0)
+
+    def test_total_is_sum_of_parts(self):
+        run = RunMeasurement(run_id=1, timeline=make_timeline())
+        intervals = run.intervals_ms(use_clock=False)
+        assert intervals["total"] == pytest.approx(
+            intervals["detection_to_send"]
+            + intervals["send_to_receive"]
+            + intervals["receive_to_actuation"])
+
+    def test_detection_to_halt(self):
+        run = RunMeasurement(run_id=1, timeline=make_timeline())
+        assert run.detection_to_halt() == pytest.approx(0.3)
+
+    def test_missing_steps_nan(self):
+        run = RunMeasurement(run_id=1, timeline=StepTimeline())
+        intervals = run.intervals_ms()
+        assert all(math.isnan(v) for v in intervals.values())
+
+
+class TestVideoFrameInterval:
+    def test_quantised_to_frames(self):
+        timeline = StepTimeline()
+        timeline.record(Steps.DETECTION, sim_time=1.01)
+        timeline.record(Steps.HALTED, sim_time=1.26)
+        # At 4 FPS, events land on the 1.25 and 1.50 frames.
+        interval = video_frame_interval(timeline, Steps.DETECTION,
+                                        Steps.HALTED, fps=4.0)
+        assert interval == pytest.approx(0.25)
+
+    def test_same_frame_zero(self):
+        timeline = StepTimeline()
+        timeline.record(Steps.DETECTION, sim_time=1.01)
+        timeline.record(Steps.HALTED, sim_time=1.02)
+        assert video_frame_interval(timeline, Steps.DETECTION,
+                                    Steps.HALTED, fps=4.0) == 0.0
+
+    def test_missing_step(self):
+        timeline = StepTimeline()
+        assert video_frame_interval(timeline, Steps.DETECTION,
+                                    Steps.HALTED, fps=4.0) is None
+
+    def test_error_bounded_by_frame_period(self):
+        timeline = StepTimeline()
+        timeline.record(Steps.DETECTION, sim_time=1.00)
+        timeline.record(Steps.HALTED, sim_time=1.33)
+        measured = video_frame_interval(timeline, Steps.DETECTION,
+                                        Steps.HALTED, fps=4.0)
+        assert abs(measured - 0.33) <= 0.25
+
+
+# ---------------------------------------------------------------------------
+# EDF / summary / fits
+# ---------------------------------------------------------------------------
+
+
+class TestEdf:
+    def test_empty(self):
+        xs, fractions = empirical_distribution([])
+        assert xs.size == 0 and fractions.size == 0
+
+    def test_paper_figure11_shape(self):
+        # The paper's five total delays: 71, 70, 52, 44, 55.
+        samples = [71, 70, 52, 44, 55]
+        xs, fractions = empirical_distribution(samples)
+        assert list(xs) == [44, 52, 55, 70, 71]
+        assert fractions[-1] == 1.0
+        # "60% of the samples occur between 44 and 55 ms"
+        assert edf_at(samples, 55) == pytest.approx(0.6)
+        assert edf_at(samples, 43.9) == 0.0
+
+    def test_monotone(self):
+        xs, fractions = empirical_distribution([3, 1, 2, 2, 5])
+        assert all(a <= b for a, b in zip(fractions, fractions[1:]))
+
+    @given(st.lists(st.floats(0.1, 100), min_size=1, max_size=50))
+    def test_edf_bounds(self, samples):
+        xs, fractions = empirical_distribution(samples)
+        assert 0 < fractions[0] <= 1.0
+        assert fractions[-1] == pytest.approx(1.0)
+
+
+class TestSummary:
+    def test_known_population(self):
+        summary = summarize([44, 52, 55, 70, 71])
+        assert summary.count == 5
+        assert summary.mean == pytest.approx(58.4)
+        assert summary.minimum == 44
+        assert summary.maximum == 71
+        assert summary.p50 == 55
+
+    def test_empty_population(self):
+        summary = summarize([])
+        assert summary.count == 0
+        assert math.isnan(summary.mean)
+
+    def test_single_sample_no_std(self):
+        assert summarize([5.0]).std == 0.0
+
+
+class TestFits:
+    def test_fits_normal_data(self):
+        rng = np.random.default_rng(1)
+        data = rng.normal(58.0, 8.0, 300)
+        fits = fit_distributions(data)
+        assert fits
+        best = fits[0]
+        assert best.ks_pvalue > 0.01
+        names = [f.name for f in fits]
+        assert "normal" in names
+
+    def test_fits_lognormal_data(self):
+        rng = np.random.default_rng(2)
+        data = rng.lognormal(4.0, 0.3, 300)
+        fits = fit_distributions(data)
+        # Lognormal (or gamma, close cousin) should beat plain normal.
+        assert fits[0].name in ("lognormal", "gamma", "weibull")
+
+    def test_aic_sorted(self):
+        rng = np.random.default_rng(3)
+        fits = fit_distributions(rng.gamma(5, 10, 200))
+        aics = [f.aic for f in fits]
+        assert aics == sorted(aics)
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError):
+            fit_distributions([1.0, 2.0])
+
+    def test_unknown_candidate(self):
+        with pytest.raises(ValueError):
+            fit_distributions([1.0, 2.0, 3.0], candidates=["cauchy2"])
+
+    def test_nonpositive_data_only_normal(self):
+        rng = np.random.default_rng(4)
+        data = rng.normal(0.0, 1.0, 100)
+        fits = fit_distributions(data)
+        assert [f.name for f in fits] == ["normal"]
+
+
+# ---------------------------------------------------------------------------
+# Braking analysis
+# ---------------------------------------------------------------------------
+
+
+class TestBrakingAnalysis:
+    PAPER = [0.43, 0.37, 0.31, 0.42, 0.31, 0.36, 0.36]
+
+    def test_paper_table3(self):
+        analysis = analyse_braking(self.PAPER)
+        assert analysis.count == 7
+        assert analysis.mean == pytest.approx(0.365, abs=0.01)
+        assert analysis.variance == pytest.approx(0.0022, abs=0.0005)
+        assert analysis.within_vehicle_length
+
+    def test_exceeding_vehicle_length_flagged(self):
+        analysis = analyse_braking([0.2, 0.6])
+        assert not analysis.within_vehicle_length
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            analyse_braking([])
+
+
+class TestFullScaleMapping:
+    def test_full_scale_braking_reasonable(self):
+        # 50 km/h on dry asphalt: ~12-16 m + reaction.
+        vehicle = FullScaleVehicle()
+        distance = full_scale_braking_distance(vehicle, 50 / 3.6)
+        assert 12.0 < distance < 20.0
+
+    def test_drag_shortens_high_speed_stop(self):
+        vehicle = FullScaleVehicle()
+        no_drag = FullScaleVehicle(drag_coefficient=0.0)
+        v = 40.0  # m/s
+        assert full_scale_braking_distance(vehicle, v) < \
+            full_scale_braking_distance(no_drag, v)
+
+    def test_reaction_time_adds_distance(self):
+        vehicle = FullScaleVehicle()
+        base = full_scale_braking_distance(vehicle, 20.0)
+        with_reaction = full_scale_braking_distance(vehicle, 20.0,
+                                                    reaction_time=1.0)
+        assert with_reaction == pytest.approx(base + 20.0)
+
+    def test_zero_speed(self):
+        vehicle = FullScaleVehicle(brake_actuation_delay=0.0)
+        assert full_scale_braking_distance(vehicle, 0.0) == 0.0
+
+    def test_negative_speed_rejected(self):
+        with pytest.raises(ValueError):
+            full_scale_braking_distance(FullScaleVehicle(), -1.0)
+
+    def test_froude_scaling(self):
+        assert froude_scale_distance(0.36) == pytest.approx(3.6)
+        assert froude_scale_speed(1.45) == pytest.approx(
+            1.45 * math.sqrt(10))
+
+    def test_froude_invalid_scale(self):
+        with pytest.raises(ValueError):
+            froude_scale_distance(1.0, scale=0.0)
+
+    def test_equivalent_friction(self):
+        # Pure braking: mu = v^2 / (2 g d).
+        mu = equivalent_friction(0.25, 1.5)
+        assert mu == pytest.approx(1.5 ** 2 / (2 * 9.81 * 0.25))
+
+    def test_equivalent_friction_latency_dominated(self):
+        with pytest.raises(ValueError):
+            equivalent_friction(0.1, 2.0, latency=0.06)

@@ -1,0 +1,96 @@
+"""Tests for the 5G link-latency model."""
+
+import numpy as np
+import pytest
+
+from repro.net.fiveg import FivegCell, FivegConfig
+from repro.sim import Simulator
+
+
+def build_cell(config=None, seed=1):
+    sim = Simulator()
+    cell = FivegCell(sim, np.random.default_rng(seed), config)
+    return sim, cell
+
+
+class TestLatencyModel:
+    def test_sample_positive(self):
+        _sim, cell = build_cell()
+        for _ in range(100):
+            sample = cell.sample_latency(200)
+            if sample is not None:
+                assert sample > 0
+
+    def test_mean_latency_in_realistic_band(self):
+        _sim, cell = build_cell(FivegConfig(bler=0.0))
+        samples = [cell.sample_latency(200) for _ in range(2000)]
+        mean = np.mean(samples)
+        # SR wait (~2.5) + grant (2.5) + slot + core (~3) + DL: ~5-15 ms.
+        assert 0.005 < mean < 0.015
+
+    def test_configured_grant_is_faster(self):
+        _sim, dynamic = build_cell(FivegConfig(bler=0.0), seed=1)
+        _sim2, configured = build_cell(
+            FivegConfig(bler=0.0, configured_grant=True), seed=1)
+        dyn = np.mean([dynamic.sample_latency(200) for _ in range(1000)])
+        cfg = np.mean([configured.sample_latency(200) for _ in range(1000)])
+        assert cfg < dyn
+
+    def test_harq_adds_latency(self):
+        _sim, clean = build_cell(FivegConfig(bler=0.0), seed=1)
+        _sim2, lossy = build_cell(FivegConfig(bler=0.5), seed=1)
+        clean_mean = np.mean([clean.sample_latency(200)
+                              for _ in range(2000)])
+        lossy_samples = [lossy.sample_latency(200) for _ in range(2000)]
+        lossy_mean = np.mean([s for s in lossy_samples if s is not None])
+        assert lossy_mean > clean_mean
+
+    def test_harq_exhaustion_drops(self):
+        _sim, cell = build_cell(FivegConfig(bler=0.95, max_harq_tx=2))
+        samples = [cell.sample_latency(200) for _ in range(200)]
+        assert any(s is None for s in samples)
+
+    def test_large_payload_takes_more_slots(self):
+        config = FivegConfig(bler=0.0, configured_grant=True)
+        _sim, cell = build_cell(config)
+        small = np.mean([cell.sample_latency(100) for _ in range(500)])
+        large = np.mean([cell.sample_latency(15000) for _ in range(500)])
+        assert large > small + 4 * config.slot_duration
+
+
+class TestTransfers:
+    def test_end_to_end_delivery(self):
+        sim, cell = build_cell(FivegConfig(bler=0.0))
+        server = cell.station("server")
+        ue = cell.station("ue")
+        got = []
+        ue.on_receive(lambda payload, latency: got.append(
+            (payload, latency, sim.now)))
+        sim.schedule(0.5, lambda: server.send("ue", {"warn": 1}, 200))
+        sim.run()
+        assert len(got) == 1
+        payload, latency, at = got[0]
+        assert payload == {"warn": 1}
+        assert at == pytest.approx(0.5 + latency)
+
+    def test_unknown_destination_dropped(self):
+        sim, cell = build_cell()
+        server = cell.station("server")
+        server.send("nobody", {}, 100)
+        sim.run()
+        assert cell.stats()["dropped"] == 1
+
+    def test_station_identity(self):
+        _sim, cell = build_cell()
+        assert cell.station("x") is cell.station("x")
+
+    def test_counters(self):
+        sim, cell = build_cell(FivegConfig(bler=0.0))
+        server = cell.station("server")
+        cell.station("ue")
+        for _ in range(5):
+            server.send("ue", "m", 100)
+        sim.run()
+        assert cell.stats()["attempted"] == 5
+        assert cell.stats()["delivered"] == 5
+        assert server.messages_sent == 5

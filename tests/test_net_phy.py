@@ -1,0 +1,92 @@
+"""Tests for the 802.11p PHY model."""
+
+import pytest
+
+from repro.net.phy import Mcs, McsTable, PhyConfig
+
+
+class TestMcsTable:
+    def test_eight_rates(self):
+        assert len(McsTable.ENTRIES) == 8
+
+    def test_default_rate_is_qpsk_half(self):
+        mcs = McsTable.get(McsTable.DEFAULT_RATE)
+        assert mcs.modulation == "qpsk"
+        assert mcs.coding_rate == pytest.approx(0.5)
+
+    def test_unknown_rate_rejected(self):
+        with pytest.raises(ValueError, match="unsupported data rate"):
+            McsTable.get(5.5e6)
+
+    def test_bits_per_symbol_consistent_with_rate(self):
+        # data_rate = bits_per_symbol / symbol_duration (8 us).
+        for rate, mcs in McsTable.ENTRIES.items():
+            assert mcs.bits_per_symbol / 8e-6 == pytest.approx(rate)
+
+
+class TestBer:
+    def test_ber_decreases_with_sinr(self):
+        mcs = McsTable.get(6e6)
+        bers = [mcs.bit_error_rate(10 ** (snr / 10.0))
+                for snr in range(-5, 30, 5)]
+        assert all(a >= b for a, b in zip(bers, bers[1:]))
+
+    def test_zero_sinr_is_half(self):
+        assert McsTable.get(6e6).bit_error_rate(0.0) == 0.5
+
+    def test_higher_order_modulation_needs_more_snr(self):
+        sinr = 10 ** (10.0 / 10.0)  # 10 dB
+        qpsk = McsTable.get(6e6).bit_error_rate(sinr)
+        qam64 = McsTable.get(27e6).bit_error_rate(sinr)
+        assert qam64 > qpsk
+
+    def test_unknown_modulation_rejected(self):
+        bad = Mcs(1e6, "qam1024", 0.5, 10)
+        with pytest.raises(ValueError):
+            bad.bit_error_rate(1.0)
+
+
+class TestPer:
+    def test_per_increases_with_size(self):
+        mcs = McsTable.get(6e6)
+        sinr = 10 ** (0.6)  # ~6 dB, lossy region
+        small = mcs.packet_error_rate(sinr, 50)
+        large = mcs.packet_error_rate(sinr, 1500)
+        assert large > small
+
+    def test_per_bounds(self):
+        mcs = McsTable.get(6e6)
+        assert mcs.packet_error_rate(10 ** 5.0, 100) == pytest.approx(
+            0.0, abs=1e-9)
+        assert 0.99 < mcs.packet_error_rate(1e-3, 1500) <= 1.0
+
+    def test_good_sinr_reliable_delivery(self):
+        # 25 dB SINR: a short safety message should essentially always
+        # get through.
+        mcs = McsTable.get(6e6)
+        assert mcs.packet_error_rate(10 ** 2.5, 100) < 1e-6
+
+
+class TestPhyConfig:
+    def test_noise_floor_for_10mhz(self):
+        config = PhyConfig()
+        # kTB for 10 MHz ~ -104 dBm; +6 dB NF -> ~ -98 dBm.
+        assert -99.0 < config.noise_power_dbm < -97.0
+
+    def test_airtime_known_frame(self):
+        config = PhyConfig()  # 6 Mbps, 48 bits/symbol
+        # 100 bytes -> 822 bits incl. service+tail -> 18 symbols.
+        airtime = config.airtime(100)
+        assert airtime == pytest.approx(40e-6 + 18 * 8e-6)
+
+    def test_airtime_monotone_in_size(self):
+        config = PhyConfig()
+        assert config.airtime(400) > config.airtime(100)
+
+    def test_airtime_faster_at_higher_rate(self):
+        slow = PhyConfig(data_rate_bps=3e6)
+        fast = PhyConfig(data_rate_bps=27e6)
+        assert fast.airtime(500) < slow.airtime(500)
+
+    def test_mcs_property(self):
+        assert PhyConfig(data_rate_bps=12e6).mcs.modulation == "qam16"

@@ -1,0 +1,369 @@
+"""Tests for the road-side infrastructure: camera, YOLO behaviours,
+detection and hazard services."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geonet import LocalFrame
+from repro.openc2x.http import HttpClient, HttpServer
+from repro.roadside import (
+    ObjectDetectionService,
+    RoadsideCamera,
+    SceneObject,
+    SimulatedYolo,
+    YoloConfig,
+)
+from repro.roadside.camera import VisibleObject
+from repro.roadside.hazard_service import (
+    HazardAdvertisementService,
+    HazardConfig,
+)
+from repro.sim import Simulator
+
+FRAME = LocalFrame()
+
+
+def static_object(name, kind, x, y, heading=0.0, speed=0.0):
+    return SceneObject(name=name, kind=kind,
+                       position=lambda: (x, y),
+                       heading=lambda: heading,
+                       speed=lambda: speed)
+
+
+def visible(kind="stop_sign", distance=2.0, bearing=0.0,
+            aspect=math.pi / 4, name="obj"):
+    return VisibleObject(name=name, kind=kind, distance=distance,
+                         bearing=bearing, aspect_angle=aspect,
+                         speed=1.0, position=(distance, 0.0))
+
+
+# ---------------------------------------------------------------------------
+# Camera
+# ---------------------------------------------------------------------------
+
+
+class TestRoadsideCamera:
+    def build(self, **kwargs):
+        sim = Simulator()
+        frames = []
+        camera = RoadsideCamera(sim, position=(0.0, 0.0), facing=0.0,
+                                publish=frames.append, **kwargs)
+        return sim, camera, frames
+
+    def test_captures_at_fps(self):
+        sim, camera, frames = self.build(fps=4.0)
+        sim.run_until(1.05)
+        assert len(frames) == 4
+
+    def test_sees_object_in_fov(self):
+        sim, camera, frames = self.build()
+        camera.add_object(static_object("car", "shell_vehicle", 3.0, 0.0))
+        sim.run_until(0.1)
+        assert len(frames[0].objects) == 1
+        assert frames[0].objects[0].distance == pytest.approx(3.0)
+
+    def test_object_behind_not_seen(self):
+        sim, camera, frames = self.build()
+        camera.add_object(static_object("car", "shell_vehicle", -3.0, 0.0))
+        sim.run_until(0.1)
+        assert frames[0].objects == ()
+
+    def test_object_outside_fov_cone(self):
+        sim, camera, frames = self.build(fov=math.radians(60.0))
+        camera.add_object(static_object("car", "shell_vehicle", 1.0, 2.0))
+        sim.run_until(0.1)
+        assert frames[0].objects == ()
+
+    def test_object_beyond_range(self):
+        sim, camera, frames = self.build(max_range=5.0)
+        camera.add_object(static_object("car", "shell_vehicle", 9.0, 0.0))
+        sim.run_until(0.1)
+        assert frames[0].objects == ()
+
+    def test_remove_object(self):
+        sim, camera, frames = self.build()
+        camera.add_object(static_object("car", "shell_vehicle", 3.0, 0.0))
+        assert camera.remove_object("car")
+        assert not camera.remove_object("car")
+        sim.run_until(0.1)
+        assert frames[0].objects == ()
+
+    def test_aspect_angle_head_on(self):
+        sim, camera, frames = self.build()
+        # Object facing the camera (heading pi, camera at origin
+        # looking +x): aspect ~ 0.
+        camera.add_object(static_object("car", "shell_vehicle", 3.0, 0.0,
+                                        heading=math.pi))
+        sim.run_until(0.1)
+        assert frames[0].objects[0].aspect_angle == pytest.approx(
+            0.0, abs=0.01)
+
+    def test_aspect_angle_side_view(self):
+        sim, camera, frames = self.build()
+        camera.add_object(static_object("car", "shell_vehicle", 3.0, 0.0,
+                                        heading=math.pi / 2))
+        sim.run_until(0.1)
+        assert frames[0].objects[0].aspect_angle == pytest.approx(
+            math.pi / 2, abs=0.01)
+
+
+# ---------------------------------------------------------------------------
+# YOLO behavioural model
+# ---------------------------------------------------------------------------
+
+
+class TestYoloBehaviour:
+    def detect_many(self, obj, n=400, seed=1, config=None):
+        yolo = SimulatedYolo(np.random.default_rng(seed), config)
+        out = []
+        for _ in range(n):
+            out.extend(yolo.detect([obj]))
+        return out, yolo
+
+    def test_stop_sign_reliable(self):
+        detections, _ = self.detect_many(visible("stop_sign", 2.0))
+        assert len(detections) > 350  # ~97% detection
+        labels = {d.label for d in detections}
+        assert "stop sign" in labels
+
+    def test_bare_vehicle_unreliable_and_mislabelled(self):
+        detections, _ = self.detect_many(visible("scale_vehicle", 1.5))
+        # Unreliable: well under half detected.
+        assert 0 < len(detections) < 250
+        labels = [d.label for d in detections]
+        # Mostly motorbike (Figure 7a).
+        assert labels.count("motorbike") > len(labels) / 2
+
+    def test_shell_vehicle_label_oscillates(self):
+        detections, _ = self.detect_many(visible("shell_vehicle", 1.5))
+        labels = {d.label for d in detections}
+        assert "car" in labels and "truck" in labels
+
+    def test_shell_vehicle_angle_sensitive(self):
+        good, _ = self.detect_many(
+            visible("shell_vehicle", 1.5, aspect=math.pi / 4), seed=2)
+        bad, _ = self.detect_many(
+            visible("shell_vehicle", 1.5, aspect=math.pi / 2 * 0.98),
+            seed=2)
+        assert len(good) > len(bad)
+
+    def test_vehicle_range_is_short(self):
+        near, _ = self.detect_many(visible("scale_vehicle", 1.5))
+        far, _ = self.detect_many(visible("scale_vehicle", 2.5))
+        assert near and not far  # "at less than 2 meters"
+
+    def test_stop_sign_long_range(self):
+        detections, _ = self.detect_many(visible("stop_sign", 5.0))
+        assert detections
+
+    def test_distance_quirk_below_75cm(self):
+        detections, _ = self.detect_many(visible("stop_sign", 0.5))
+        assert detections
+        assert all(d.estimated_distance == pytest.approx(1.73)
+                   for d in detections)
+
+    def test_distance_estimate_tracks_truth_above_75cm(self):
+        detections, _ = self.detect_many(visible("stop_sign", 3.0))
+        estimates = [d.estimated_distance for d in detections]
+        assert np.mean(estimates) == pytest.approx(3.0, abs=0.1)
+
+    def test_unknown_kind_ignored(self):
+        detections, yolo = self.detect_many(visible("ufo", 2.0))
+        assert detections == []
+
+    def test_inference_time_around_4fps(self):
+        yolo = SimulatedYolo(np.random.default_rng(1))
+        times = [yolo.sample_inference_time() for _ in range(500)]
+        assert np.mean(times) == pytest.approx(0.24, abs=0.02)
+
+    def test_counters(self):
+        _detections, yolo = self.detect_many(visible("scale_vehicle", 1.5),
+                                             n=100)
+        assert yolo.frames_processed == 100
+        assert yolo.detections_made + yolo.missed_objects == 100
+
+
+# ---------------------------------------------------------------------------
+# Detection service
+# ---------------------------------------------------------------------------
+
+
+class TestDetectionService:
+    def build(self, camera_fps=15.0):
+        sim = Simulator()
+        yolo = SimulatedYolo(np.random.default_rng(1))
+        events = []
+        service = ObjectDetectionService(sim, yolo,
+                                         publish=events.append)
+        camera = RoadsideCamera(sim, (0.0, 0.0), 0.0,
+                                publish=service.on_frame, fps=camera_fps)
+        return sim, camera, service, events
+
+    def test_inference_bound_rate(self):
+        sim, camera, service, events = self.build(camera_fps=15.0)
+        camera.add_object(static_object("sign", "stop_sign", 2.0, 0.0))
+        sim.run_until(5.0)
+        # ~4 FPS effective despite 15 FPS capture.
+        assert 15 <= service.frames_processed <= 25
+        assert service.frames_dropped > 20
+
+    def test_pipeline_latency_reported(self):
+        sim, camera, service, events = self.build()
+        camera.add_object(static_object("sign", "stop_sign", 2.0, 0.0))
+        sim.run_until(1.0)
+        assert events
+        assert 0.02 < events[0].pipeline_latency < 0.5
+
+    def test_motion_vector_estimated(self):
+        sim = Simulator()
+        yolo = SimulatedYolo(np.random.default_rng(1))
+        events = []
+        service = ObjectDetectionService(sim, yolo, publish=events.append)
+        x = [3.0]
+        camera = RoadsideCamera(sim, (0.0, 0.0), 0.0,
+                                publish=service.on_frame, fps=15.0)
+        camera.add_object(SceneObject(
+            "sign", "stop_sign", position=lambda: (x[0], 0.0)))
+
+        def mover():
+            x[0] -= 0.01  # -1 m/s at 10 ms tick
+            sim.schedule(0.01, mover)
+        sim.schedule(0.01, mover)
+        sim.run_until(3.0)
+        vectors = [e.motion_vectors.get("sign") for e in events
+                   if "sign" in e.motion_vectors]
+        assert vectors
+        vx = np.mean([v[0] for v in vectors])
+        assert vx == pytest.approx(-1.0, abs=0.15)
+
+
+# ---------------------------------------------------------------------------
+# Hazard service
+# ---------------------------------------------------------------------------
+
+
+class TestHazardService:
+    def build(self, config=None):
+        sim = Simulator()
+        server = HttpServer(sim, np.random.default_rng(1), "rsu")
+        triggers = []
+        server.route("/trigger_denm",
+                     lambda body: (200, triggers.append(body) or {}))
+        client = HttpClient(sim, np.random.default_rng(2))
+        service = HazardAdvertisementService(
+            sim, client, server, camera_position=(0.0, 0.0),
+            camera_facing=0.0, local_frame=FRAME,
+            config=config or HazardConfig(action_distance=1.52,
+                                          assessment_delay=0.0))
+        return sim, service, triggers
+
+    def event(self, distance, label="stop sign", name="sign"):
+        from repro.roadside.detection_service import DetectionEvent
+        from repro.roadside.yolo import Detection
+
+        detection = Detection(
+            object_name=name, label=label, confidence=0.9,
+            estimated_distance=distance, true_distance=distance,
+            bearing=0.0)
+        return DetectionEvent(detections=(detection,), captured_at=0.0,
+                              completed_at=0.0)
+
+    def test_triggers_inside_action_distance(self):
+        sim, service, triggers = self.build()
+        service.on_detections(self.event(1.4))
+        sim.run()
+        assert len(triggers) == 1
+        assert triggers[0]["causeCode"] == 97
+
+    def test_no_trigger_outside_action_distance(self):
+        sim, service, triggers = self.build()
+        service.on_detections(self.event(2.0))
+        sim.run()
+        assert triggers == []
+
+    def test_refractory_period(self):
+        sim, service, triggers = self.build()
+        service.on_detections(self.event(1.4))
+        service.on_detections(self.event(1.2))
+        sim.run()
+        assert len(triggers) == 1
+
+    def test_different_objects_trigger_separately(self):
+        sim, service, triggers = self.build()
+        service.on_detections(self.event(1.4, name="a"))
+        service.on_detections(self.event(1.2, name="b"))
+        sim.run()
+        assert len(triggers) == 2
+
+    def test_non_hazard_label_ignored(self):
+        sim, service, triggers = self.build()
+        service.on_detections(self.event(1.0, label="street sign"))
+        sim.run()
+        assert triggers == []
+
+    def test_event_position_along_camera_ray(self):
+        sim, service, triggers = self.build()
+        service.on_detections(self.event(1.4))
+        sim.run()
+        geo = triggers[0]
+        x, y = FRAME.to_local(
+            type(FRAME.origin)(geo["latitude"], geo["longitude"]))
+        assert x == pytest.approx(1.4, abs=0.01)
+        assert y == pytest.approx(0.0, abs=0.01)
+
+    def test_emits_measurement_event(self):
+        sim, service, triggers = self.build()
+        got = []
+        service.on_event(lambda name, rec: got.append((name, rec)))
+        service.on_detections(self.event(1.4))
+        sim.run()
+        assert got[0][0] == "hazard_detected"
+        assert got[0][1]["estimated_distance"] == pytest.approx(1.4)
+
+    def test_ldm_mode_requires_protagonist(self):
+        from repro.facilities import Ldm, LdmObject, ObjectKind
+
+        sim = Simulator()
+        ldm = Ldm(sim, run_purge_process=False)
+        server = HttpServer(sim, np.random.default_rng(1), "rsu")
+        triggers = []
+        server.route("/trigger_denm",
+                     lambda body: (200, triggers.append(body) or {}))
+        client = HttpClient(sim, np.random.default_rng(2))
+        service = HazardAdvertisementService(
+            sim, client, server, camera_position=(0.0, 0.0),
+            local_frame=FRAME, ldm=ldm,
+            config=HazardConfig(action_distance=1.52,
+                                assessment_delay=0.0, mode="ldm"))
+        # Without any CAM-known vehicle: no trigger.
+        service.on_detections(self.event(1.4, name="a"))
+        sim.run()
+        assert triggers == []
+        # With a moving protagonist in the LDM: trigger.
+        ldm.put(LdmObject(
+            key="cam:101", kind=ObjectKind.VEHICLE,
+            position=FRAME.to_geo(3.0, 0.0), timestamp=sim.now,
+            valid_until=sim.now + 5.0, speed=1.5))
+        service.on_detections(self.event(1.4, name="b"))
+        sim.run()
+        assert len(triggers) == 1
+
+    def test_ldm_mode_requires_ldm_instance(self):
+        sim = Simulator()
+        server = HttpServer(sim, np.random.default_rng(1), "rsu")
+        client = HttpClient(sim, np.random.default_rng(2))
+        with pytest.raises(ValueError):
+            HazardAdvertisementService(
+                sim, client, server, camera_position=(0.0, 0.0),
+                config=HazardConfig(mode="ldm"))
+
+    def test_unknown_mode_rejected(self):
+        sim = Simulator()
+        server = HttpServer(sim, np.random.default_rng(1), "rsu")
+        client = HttpClient(sim, np.random.default_rng(2))
+        with pytest.raises(ValueError):
+            HazardAdvertisementService(
+                sim, client, server, camera_position=(0.0, 0.0),
+                config=HazardConfig(mode="psychic"))

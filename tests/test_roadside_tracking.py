@@ -1,0 +1,207 @@
+"""Tests for the edge Kalman tracker and the predictive hazard mode."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.roadside.tracking import (
+    KalmanTrack,
+    MultiObjectTracker,
+    TrackerConfig,
+    TrackEstimate,
+)
+
+
+class TestKalmanTrack:
+    def test_converges_to_constant_velocity(self):
+        rng = np.random.default_rng(1)
+        track = KalmanTrack(1, (0.0, 0.0), now=0.0)
+        for step in range(1, 40):
+            t = step * 0.25
+            true = (1.2 * t, 0.5 * t)
+            noisy = (true[0] + rng.normal(0, 0.05),
+                     true[1] + rng.normal(0, 0.05))
+            track.update(noisy, t)
+        estimate = track.estimate()
+        assert estimate.velocity[0] == pytest.approx(1.2, abs=0.15)
+        assert estimate.velocity[1] == pytest.approx(0.5, abs=0.15)
+        assert estimate.position[0] == pytest.approx(1.2 * 9.75, abs=0.2)
+
+    def test_predict_without_update_extrapolates(self):
+        track = KalmanTrack(1, (0.0, 0.0), now=0.0)
+        track.update((1.0, 0.0), 1.0)
+        track.update((2.0, 0.0), 2.0)
+        track.predict(4.0)
+        assert track.x[0] > 2.5  # moved on without measurements
+
+    def test_stationary_object_velocity_near_zero(self):
+        rng = np.random.default_rng(2)
+        track = KalmanTrack(1, (3.0, 1.0), now=0.0)
+        for step in range(1, 30):
+            track.update((3.0 + rng.normal(0, 0.02),
+                          1.0 + rng.normal(0, 0.02)), step * 0.25)
+        assert track.estimate().speed < 0.1
+
+
+class TestTrackEstimate:
+    def estimate(self, position, velocity):
+        return TrackEstimate(track_id=1, position=position,
+                             velocity=velocity, updated_at=0.0,
+                             hits=5, misses=0)
+
+    def test_time_to_point_head_on(self):
+        estimate = self.estimate((10.0, 0.0), (-2.0, 0.0))
+        eta = estimate.time_to_point((0.0, 0.0), capture_radius=1.0)
+        assert eta == pytest.approx((10.0 - 1.0) / 2.0)
+
+    def test_moving_away_never_arrives(self):
+        estimate = self.estimate((10.0, 0.0), (2.0, 0.0))
+        assert estimate.time_to_point((0.0, 0.0), 1.0) is None
+
+    def test_passing_wide_never_arrives(self):
+        estimate = self.estimate((10.0, 5.0), (-2.0, 0.0))
+        assert estimate.time_to_point((0.0, 0.0), 1.0) is None
+
+    def test_already_inside(self):
+        estimate = self.estimate((0.5, 0.0), (0.0, 0.0))
+        assert estimate.time_to_point((0.0, 0.0), 1.0) == 0.0
+
+    def test_predict_position(self):
+        estimate = self.estimate((1.0, 2.0), (0.5, -1.0))
+        assert estimate.predict_position(2.0) == (2.0, 0.0)
+
+
+class TestMultiObjectTracker:
+    def test_single_object_tracked(self):
+        tracker = MultiObjectTracker()
+        for step in range(10):
+            t = step * 0.25
+            tracker.step([(5.0 - t, 0.0)], t)
+        assert len(tracker) == 1
+        estimates = tracker.confirmed()
+        assert estimates
+        assert estimates[0].velocity[0] == pytest.approx(-1.0, abs=0.2)
+
+    def test_two_objects_two_tracks(self):
+        tracker = MultiObjectTracker()
+        for step in range(10):
+            t = step * 0.25
+            tracker.step([(5.0 - t, 0.0), (0.0, 5.0 - t)], t)
+        assert len(tracker) == 2
+
+    def test_track_retired_after_misses(self):
+        tracker = MultiObjectTracker(TrackerConfig(max_misses=3))
+        tracker.step([(5.0, 0.0)], 0.0)
+        for step in range(1, 6):
+            tracker.step([], step * 0.25)
+        assert len(tracker) == 0
+        assert tracker.retired == 1
+
+    def test_missed_frame_does_not_break_track(self):
+        tracker = MultiObjectTracker()
+        created_before = None
+        for step in range(12):
+            t = step * 0.25
+            if step == 5:
+                tracker.step([], t)  # one missed frame
+            else:
+                tracker.step([(6.0 - 0.5 * t, 0.0)], t)
+            if step == 4:
+                created_before = tracker.created
+        assert tracker.created == created_before  # no duplicate track
+
+    def test_gate_prevents_wild_association(self):
+        tracker = MultiObjectTracker(TrackerConfig(gate_distance=1.0))
+        tracker.step([(0.0, 0.0)], 0.0)
+        tracker.step([(10.0, 0.0)], 0.25)  # far away: a new object
+        assert tracker.created == 2
+
+    def test_confirmed_requires_hits(self):
+        tracker = MultiObjectTracker(TrackerConfig(confirm_hits=3))
+        tracker.step([(0.0, 0.0)], 0.0)
+        assert tracker.confirmed() == []
+        tracker.step([(0.1, 0.0)], 0.25)
+        tracker.step([(0.2, 0.0)], 0.5)
+        assert tracker.confirmed()
+
+
+class TestPredictiveHazardMode:
+    def build(self, horizon=1.5):
+        from repro.geonet import LocalFrame
+        from repro.openc2x.http import HttpClient, HttpServer
+        from repro.roadside.hazard_service import (
+            HazardAdvertisementService,
+            HazardConfig,
+        )
+        from repro.sim import Simulator
+
+        sim = Simulator()
+        server = HttpServer(sim, np.random.default_rng(1), "rsu")
+        triggers = []
+        server.route("/trigger_denm",
+                     lambda body: (200, triggers.append(sim.now) or {}))
+        client = HttpClient(sim, np.random.default_rng(2))
+        service = HazardAdvertisementService(
+            sim, client, server, camera_position=(0.0, 0.0),
+            camera_facing=0.0, local_frame=LocalFrame(),
+            config=HazardConfig(
+                action_distance=1.52, assessment_delay=0.0,
+                mode="predictive", prediction_horizon=horizon))
+        return sim, service, triggers
+
+    def event_at(self, distance, t):
+        from repro.roadside.detection_service import DetectionEvent
+        from repro.roadside.yolo import Detection
+
+        detection = Detection(
+            object_name="car", label="stop sign", confidence=0.9,
+            estimated_distance=distance, true_distance=distance,
+            bearing=0.0)
+        return DetectionEvent(detections=(detection,), captured_at=t,
+                              completed_at=t)
+
+    def test_warns_before_threshold_crossing(self):
+        sim, service, triggers = self.build()
+        # Object approaching at 1.5 m/s from 6 m; threshold mode
+        # would fire at d <= 1.52 (t ~ 3.0 s); predictive fires when
+        # ETA < 1.5 s, i.e. around d ~ 3.8 m (t ~ 1.5 s).
+        t = 0.0
+        fired_at_distance = None
+        d = 6.0
+        while d > 1.0 and fired_at_distance is None:
+            service.on_detections(self.event_at(d, t))
+            sim.run_until(t + 0.01)
+            if triggers:
+                fired_at_distance = d
+            t += 0.25
+            d = 6.0 - 1.5 * t
+        assert fired_at_distance is not None
+        assert fired_at_distance > 1.52  # earlier than the threshold
+
+    def test_stationary_object_never_warns(self):
+        sim, service, triggers = self.build()
+        for step in range(20):
+            t = step * 0.25
+            service.on_detections(self.event_at(3.0, t))
+            sim.run_until(t + 0.01)
+        assert triggers == []
+
+    def test_receding_object_never_warns(self):
+        sim, service, triggers = self.build()
+        for step in range(16):
+            t = step * 0.25
+            service.on_detections(self.event_at(2.0 + 1.0 * t, t))
+            sim.run_until(t + 0.01)
+        assert triggers == []
+
+    def test_one_warning_per_track(self):
+        sim, service, triggers = self.build()
+        t = 0.0
+        d = 6.0
+        while d > 1.0:
+            service.on_detections(self.event_at(d, t))
+            sim.run_until(t + 0.01)
+            t += 0.25
+            d = 6.0 - 1.5 * t
+        assert len(triggers) == 1

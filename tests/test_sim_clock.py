@@ -1,0 +1,104 @@
+"""Unit tests for device clocks and random streams."""
+
+import numpy as np
+import pytest
+
+from repro.sim import DeviceClock, NtpModel, RandomStreams, Simulator
+
+
+def make_clock(sim, model, name="c", seed=1):
+    return DeviceClock(sim, np.random.default_rng(seed), model, name)
+
+
+class TestNtpModel:
+    def test_ideal_has_no_error(self):
+        sim = Simulator()
+        clock = make_clock(sim, NtpModel.ideal())
+        sim.run_until(100.0)
+        assert clock.now() == sim.now
+        assert clock.offset == 0.0
+
+    def test_lan_default_offsets_are_small(self):
+        sim = Simulator()
+        clocks = [
+            DeviceClock(sim, np.random.default_rng(i), NtpModel.lan_default())
+            for i in range(50)
+        ]
+        offsets = [abs(c.offset) for c in clocks]
+        # 3 sigma of 0.2 ms -> essentially all under 1 ms.
+        assert max(offsets) < 2e-3
+        assert any(o > 0 for o in offsets)
+
+    def test_offsets_differ_between_devices(self):
+        sim = Simulator()
+        a = make_clock(sim, NtpModel.lan_default(), seed=1)
+        b = make_clock(sim, NtpModel.lan_default(), seed=2)
+        assert a.offset != b.offset
+
+
+class TestDrift:
+    def test_drift_moves_offset_over_time(self):
+        sim = Simulator()
+        model = NtpModel(initial_offset_std=0.0, drift_ppm_std=100.0,
+                         poll_interval=0.0, read_jitter_std=0.0)
+        clock = make_clock(sim, model)
+        start = clock.offset
+        sim.run_until(1000.0)
+        assert clock.offset != start
+
+    def test_ntp_correction_bounds_drift(self):
+        sim = Simulator()
+        model = NtpModel(initial_offset_std=1e-4, drift_ppm_std=50.0,
+                         poll_interval=64.0, read_jitter_std=0.0)
+        clock = make_clock(sim, model)
+        sim.run_until(10_000.0)
+        # After many corrections the offset stays bounded near the
+        # residual scale, not accumulated drift (50 ppm * 1e4 s = 0.5 s).
+        assert abs(clock.offset) < 0.01
+
+
+class TestReadJitter:
+    def test_jitter_perturbs_reads(self):
+        sim = Simulator()
+        model = NtpModel(initial_offset_std=0.0, drift_ppm_std=0.0,
+                         poll_interval=0.0, read_jitter_std=1e-3)
+        clock = make_clock(sim, model)
+        reads = {clock.now() for _ in range(10)}
+        assert len(reads) > 1
+
+    def test_no_jitter_reads_are_stable(self):
+        sim = Simulator()
+        clock = make_clock(sim, NtpModel.ideal())
+        assert clock.now() == clock.now()
+
+
+class TestRandomStreams:
+    def test_same_name_same_stream(self):
+        streams = RandomStreams(7)
+        assert streams.get("a") is streams.get("a")
+
+    def test_different_names_independent(self):
+        streams = RandomStreams(7)
+        a = streams.get("a").random(5)
+        b = streams.get("b").random(5)
+        assert not np.allclose(a, b)
+
+    def test_reproducible_across_instances(self):
+        a = RandomStreams(7).get("net.fading").random(10)
+        b = RandomStreams(7).get("net.fading").random(10)
+        assert np.allclose(a, b)
+
+    def test_different_seeds_differ(self):
+        a = RandomStreams(1).get("x").random(10)
+        b = RandomStreams(2).get("x").random(10)
+        assert not np.allclose(a, b)
+
+    def test_scoped_streams_prefix(self):
+        root = RandomStreams(7)
+        scoped = root.spawn("vehicle")
+        assert scoped.get("imu") is root.get("vehicle.imu")
+
+    def test_nested_scopes(self):
+        root = RandomStreams(7)
+        nested = root.spawn("a").spawn("b")
+        assert nested.get("c") is root.get("a.b.c")

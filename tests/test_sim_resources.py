@@ -1,0 +1,216 @@
+"""Tests for Resource and Store process primitives."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Process, Resource, Simulator, SimulationError, Store, Timeout
+
+
+class TestResource:
+    def test_acquire_within_capacity_immediate(self):
+        sim = Simulator()
+        resource = Resource(sim, capacity=2)
+        log = []
+
+        def worker(name):
+            yield resource.acquire()
+            log.append((name, sim.now))
+            yield Timeout(1.0)
+            resource.release()
+
+        Process(sim, worker("a"))
+        Process(sim, worker("b"))
+        sim.run()
+        assert [name for name, _t in log] == ["a", "b"]
+        assert log[0][1] == log[1][1] == 0.0
+
+    def test_contention_serialises(self):
+        sim = Simulator()
+        resource = Resource(sim, capacity=1)
+        log = []
+
+        def worker(name, hold):
+            yield resource.acquire()
+            log.append((name, sim.now))
+            yield Timeout(hold)
+            resource.release()
+
+        Process(sim, worker("first", 2.0))
+        Process(sim, worker("second", 1.0))
+        sim.run()
+        assert log == [("first", 0.0), ("second", 2.0)]
+
+    def test_fifo_grant_order(self):
+        sim = Simulator()
+        resource = Resource(sim, capacity=1)
+        order = []
+
+        def worker(name):
+            yield resource.acquire()
+            order.append(name)
+            yield Timeout(0.1)
+            resource.release()
+
+        for name in ("a", "b", "c", "d"):
+            Process(sim, worker(name))
+        sim.run()
+        assert order == ["a", "b", "c", "d"]
+
+    def test_counters(self):
+        sim = Simulator()
+        resource = Resource(sim, capacity=2)
+        grants = [resource.acquire(), resource.acquire(),
+                  resource.acquire()]
+        sim.run()
+        assert resource.in_use == 2
+        assert resource.available == 0
+        assert resource.queue_length == 1
+        resource.release()
+        sim.run()
+        assert resource.queue_length == 0
+        assert grants[2].triggered
+
+    def test_release_without_acquire_rejected(self):
+        sim = Simulator()
+        resource = Resource(sim)
+        with pytest.raises(SimulationError):
+            resource.release()
+
+    def test_invalid_capacity(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            Resource(sim, capacity=0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(1, 4), st.integers(1, 12))
+    def test_never_exceeds_capacity(self, capacity, workers):
+        sim = Simulator()
+        resource = Resource(sim, capacity=capacity)
+        peak = [0]
+
+        def worker():
+            yield resource.acquire()
+            peak[0] = max(peak[0], resource.in_use)
+            yield Timeout(0.5)
+            resource.release()
+
+        for _ in range(workers):
+            Process(sim, worker())
+        sim.run()
+        assert peak[0] <= capacity
+        assert resource.acquired_total == workers
+
+
+class TestStore:
+    def test_put_then_get(self):
+        sim = Simulator()
+        store = Store(sim)
+        store.put("x")
+        got = []
+
+        def consumer():
+            item = yield store.get()
+            got.append(item)
+
+        Process(sim, consumer())
+        sim.run()
+        assert got == ["x"]
+
+    def test_get_blocks_until_put(self):
+        sim = Simulator()
+        store = Store(sim)
+        got = []
+
+        def consumer():
+            item = yield store.get()
+            got.append((item, sim.now))
+
+        Process(sim, consumer())
+        sim.schedule(3.0, lambda: store.put("late"))
+        sim.run()
+        assert got == [("late", 3.0)]
+
+    def test_fifo_order(self):
+        sim = Simulator()
+        store = Store(sim)
+        for value in (1, 2, 3):
+            store.put(value)
+        got = []
+
+        def consumer():
+            for _ in range(3):
+                item = yield store.get()
+                got.append(item)
+
+        Process(sim, consumer())
+        sim.run()
+        assert got == [1, 2, 3]
+
+    def test_bounded_store_drops(self):
+        sim = Simulator()
+        store = Store(sim, capacity=2)
+        assert store.put(1)
+        assert store.put(2)
+        assert not store.put(3)
+        assert store.dropped == 1
+        assert store.peek_all() == [1, 2]
+
+    def test_waiting_getter_bypasses_capacity(self):
+        sim = Simulator()
+        store = Store(sim, capacity=1)
+        got = []
+
+        def consumer():
+            item = yield store.get()
+            got.append(item)
+
+        Process(sim, consumer())
+        sim.run()
+        # The getter is waiting: a put goes straight through.
+        assert store.put("direct")
+        sim.run()
+        assert got == ["direct"]
+
+    def test_multiple_consumers_fifo(self):
+        sim = Simulator()
+        store = Store(sim)
+        got = []
+
+        def consumer(name):
+            item = yield store.get()
+            got.append((name, item))
+
+        Process(sim, consumer("a"))
+        Process(sim, consumer("b"))
+        sim.schedule(1.0, lambda: store.put(1))
+        sim.schedule(2.0, lambda: store.put(2))
+        sim.run()
+        assert got == [("a", 1), ("b", 2)]
+
+    def test_invalid_capacity(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            Store(sim, capacity=0)
+
+    def test_producer_consumer_pipeline(self):
+        sim = Simulator()
+        store = Store(sim, capacity=8)
+        consumed = []
+
+        def producer():
+            for index in range(20):
+                store.put(index)
+                yield Timeout(0.05)
+
+        def consumer():
+            while len(consumed) < 20:
+                item = yield store.get()
+                consumed.append(item)
+                yield Timeout(0.02)
+
+        Process(sim, producer())
+        Process(sim, consumer())
+        sim.run_until(10.0)
+        assert consumed == list(range(20))
+        assert store.dropped == 0
