@@ -12,7 +12,13 @@ Examples::
 
     repro-testbed run --seed 7
     repro-testbed campaign --runs 10 --secured
+    repro-testbed campaign --runs 50 --workers 4 --cache-dir .runs
     repro-testbed platoon --interface 5g_leader --members 5
+
+``campaign``, ``cdf`` and ``report`` accept ``--workers N`` (shard
+runs over a process pool; bit-identical to serial) and
+``--cache-dir DIR`` (skip already-computed runs); per-run progress
+streams to stderr.
 """
 
 from __future__ import annotations
@@ -28,7 +34,7 @@ from repro.core import (
     analyse_braking,
     empirical_distribution,
     fit_distributions,
-    run_campaign,
+    run_campaign_parallel,
     summarize,
 )
 
@@ -53,6 +59,57 @@ def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
                         help="load the full scenario from a JSON file "
                              "(other scenario flags are ignored except "
                              "--seed)")
+
+
+def _positive_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"must be an integer >= 1, got {text!r}") from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _check_cache_dir(cache_dir) -> None:
+    """Fail with a clean CLI error if the cache dir is unusable."""
+    if cache_dir is None:
+        return
+    import os
+
+    try:
+        os.makedirs(cache_dir, exist_ok=True)
+    except OSError as error:
+        raise SystemExit(
+            f"repro-testbed: error: --cache-dir {cache_dir!r} is not "
+            f"a usable directory ({error})")
+
+
+def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workers", type=_positive_int, default=1,
+                        metavar="N",
+                        help="run the campaign across N worker "
+                             "processes (results are bit-identical "
+                             "for any N)")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="cache completed runs on disk so "
+                             "repeated campaigns skip them")
+
+
+def _print_progress(outcome, done: int, total: int) -> None:
+    source = "cached" if outcome.cached else "simulated"
+    print(f"  [{done}/{total}] run {outcome.run_id} "
+          f"(seed {outcome.seed}) {source}", file=sys.stderr)
+
+
+def _run_engine(args: argparse.Namespace, scenario=None):
+    _check_cache_dir(args.cache_dir)
+    return run_campaign_parallel(
+        scenario if scenario is not None else _scenario_from(args),
+        runs=args.runs, base_seed=args.seed,
+        workers=args.workers, cache_dir=args.cache_dir,
+        progress=_print_progress)
 
 
 def _scenario_from(args: argparse.Namespace) -> EmergencyBrakeScenario:
@@ -96,8 +153,7 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_campaign(args: argparse.Namespace) -> int:
-    result = run_campaign(_scenario_from(args), runs=args.runs,
-                          base_seed=args.seed)
+    result = _run_engine(args)
     table = result.table2()
     print(f"Table II analogue over {args.runs} runs (ms):")
     for name, data in table.items():
@@ -150,8 +206,7 @@ def cmd_platoon(args: argparse.Namespace) -> int:
 
 
 def cmd_cdf(args: argparse.Namespace) -> int:
-    scenario = _scenario_from(args)
-    result = run_campaign(scenario, runs=args.runs, base_seed=args.seed)
+    result = _run_engine(args)
     totals = result.total_delays_ms()
     summary = summarize(totals)
     print(f"n={summary.count} mean={summary.mean:.1f} ms "
@@ -166,12 +221,15 @@ def cmd_cdf(args: argparse.Namespace) -> int:
 def cmd_report(args: argparse.Namespace) -> int:
     from repro.core.report import ReportConfig, write_report
 
-    config = ReportConfig(base_seed=args.seed)
+    _check_cache_dir(args.cache_dir)
+    config = ReportConfig(base_seed=args.seed, workers=args.workers,
+                          cache_dir=args.cache_dir)
     if args.quick:
         config = ReportConfig(
             table2_runs=3, table3_runs=3,
             include_blind_corner=False, include_platoon=False,
-            base_seed=args.seed)
+            base_seed=args.seed, workers=args.workers,
+            cache_dir=args.cache_dir)
     markdown = write_report(args.output, config)
     print(markdown)
     print(f"(written to {args.output})")
@@ -191,6 +249,7 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_parser = sub.add_parser("campaign",
                                      help="N-run measurement campaign")
     _add_scenario_arguments(campaign_parser)
+    _add_engine_arguments(campaign_parser)
     campaign_parser.add_argument("--runs", type=int, default=5)
     campaign_parser.set_defaults(func=cmd_campaign)
 
@@ -210,6 +269,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     cdf_parser = sub.add_parser("cdf", help="latency CDF + model fit")
     _add_scenario_arguments(cdf_parser)
+    _add_engine_arguments(cdf_parser)
     cdf_parser.add_argument("--runs", type=int, default=20)
     cdf_parser.set_defaults(func=cmd_cdf)
 
@@ -220,6 +280,7 @@ def build_parser() -> argparse.ArgumentParser:
     report_parser.add_argument("--seed", type=int, default=1)
     report_parser.add_argument("--quick", action="store_true",
                                help="fewer runs, skip extensions")
+    _add_engine_arguments(report_parser)
     report_parser.set_defaults(func=cmd_report)
 
     return parser

@@ -8,7 +8,9 @@ network-aided safety function, not just the communication hop.
   and interval computation (Table II's rows);
 * :mod:`repro.core.scenario` -- experiment geometry and parameters;
 * :mod:`repro.core.testbed` -- the assembled emergency-braking
-  testbed (Figure 8) and the campaign runner;
+  testbed (Figure 8) and the serial campaign wrapper;
+* :mod:`repro.core.campaign` -- the parallel campaign execution
+  engine: process-pool sharding, run caching, streamed progress;
 * :mod:`repro.core.latency` -- empirical distribution functions
   (Figure 11), summary statistics, distribution fitting;
 * :mod:`repro.core.braking` -- braking-distance analysis (Table III)
@@ -22,6 +24,12 @@ network-aided safety function, not just the communication hop.
 from repro.core.measurement import RunMeasurement, StepTimeline, Steps
 from repro.core.scenario import EmergencyBrakeScenario
 from repro.core.testbed import CampaignResult, ScaleTestbed, run_campaign
+from repro.core.campaign import (
+    RunCache,
+    RunOutcome,
+    run_campaign_parallel,
+    scenario_fingerprint,
+)
 from repro.core.latency import (
     DistributionFit,
     LatencySummary,
@@ -60,7 +68,9 @@ __all__ = [
     "EmergencyBrakeScenario",
     "FullScaleVehicle",
     "LatencySummary",
+    "RunCache",
     "RunMeasurement",
+    "RunOutcome",
     "ScaleTestbed",
     "StepTimeline",
     "Steps",
@@ -70,5 +80,7 @@ __all__ = [
     "froude_scale_distance",
     "full_scale_braking_distance",
     "run_campaign",
+    "run_campaign_parallel",
+    "scenario_fingerprint",
     "summarize",
 ]

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional
 
 
 class Steps:
@@ -46,6 +46,25 @@ class StepRecord:
     clock_time: Optional[float]   # device clock reading (may be None)
     sim_time: float               # ground-truth simulated time
     detail: Dict[str, Any] = dataclasses.field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-serialisable copy (exact: floats round-trip)."""
+        return {
+            "step": self.step,
+            "clock_time": self.clock_time,
+            "sim_time": self.sim_time,
+            "detail": dict(self.detail),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "StepRecord":
+        """Rebuild a record serialised by :meth:`to_dict`."""
+        return cls(
+            step=data["step"],
+            clock_time=data["clock_time"],
+            sim_time=data["sim_time"],
+            detail=dict(data.get("detail", {})),
+        )
 
 
 class StepTimeline:
@@ -92,6 +111,41 @@ class StepTimeline:
                 and b.clock_time is not None:
             return b.clock_time - a.clock_time
         return b.sim_time - a.sim_time
+
+    def records(self) -> List[StepRecord]:
+        """All recorded steps, in canonical chain order.
+
+        Steps outside :data:`Steps.ORDER` (none today) would sort after
+        the chain, alphabetically, so the listing never depends on the
+        order events happened to fire in.
+        """
+        def key(record: StepRecord):
+            try:
+                return (0, Steps.ORDER.index(record.step))
+            except ValueError:
+                return (1, record.step)
+
+        return sorted(self._records.values(), key=key)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A canonical, JSON-serialisable form of the timeline.
+
+        Two timelines that recorded the same steps with the same
+        timestamps serialise identically regardless of recording
+        order, so ``a.to_dict() == b.to_dict()`` is the bit-identity
+        oracle used by the campaign cache and the serial/parallel
+        equivalence tests.
+        """
+        return {"records": [record.to_dict() for record in self.records()]}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "StepTimeline":
+        """Rebuild a timeline serialised by :meth:`to_dict`."""
+        timeline = cls()
+        for entry in data.get("records", []):
+            record = StepRecord.from_dict(entry)
+            timeline._records[record.step] = record
+        return timeline
 
 
 @dataclasses.dataclass
@@ -162,6 +216,44 @@ class RunMeasurement:
                 self.receive_to_actuation(use_clock)),
             "total": ms(self.total_delay(use_clock)),
         }
+
+    # ------------------------------------------------------------------
+    # Serialisation (campaign cache / equivalence oracle)
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A canonical, JSON-serialisable form of the whole measurement.
+
+        Python's ``json`` round-trips floats exactly (shortest-repr),
+        so serialise -> deserialise preserves every bit; two runs are
+        *the same run* iff their ``to_dict()`` forms compare equal.
+        """
+        return {
+            "run_id": self.run_id,
+            "timeline": self.timeline.to_dict(),
+            "speed_at_action_point": self.speed_at_action_point,
+            "detection_distance": self.detection_distance,
+            "estimated_distance": self.estimated_distance,
+            "braking_distance": self.braking_distance,
+            "distance_from_action_point": self.distance_from_action_point,
+            "final_distance_to_camera": self.final_distance_to_camera,
+            "completed": self.completed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RunMeasurement":
+        """Rebuild a measurement serialised by :meth:`to_dict`."""
+        return cls(
+            run_id=data["run_id"],
+            timeline=StepTimeline.from_dict(data["timeline"]),
+            speed_at_action_point=data["speed_at_action_point"],
+            detection_distance=data["detection_distance"],
+            estimated_distance=data["estimated_distance"],
+            braking_distance=data["braking_distance"],
+            distance_from_action_point=data["distance_from_action_point"],
+            final_distance_to_camera=data["final_distance_to_camera"],
+            completed=data["completed"],
+        )
 
 
 def video_frame_interval(

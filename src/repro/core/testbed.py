@@ -373,6 +373,12 @@ class CampaignResult:
     scenario: EmergencyBrakeScenario
     runs: List[RunMeasurement]
 
+    def __post_init__(self) -> None:
+        # Aggregation must not depend on completion order: parallel
+        # campaigns stream results back as workers finish, so the
+        # population is canonicalised by run_id before any statistic.
+        self.runs = sorted(self.runs, key=lambda run: run.run_id)
+
     @property
     def completed_runs(self) -> List[RunMeasurement]:
         """Runs in which the whole chain executed."""
@@ -414,11 +420,13 @@ class CampaignResult:
 
 def run_campaign(scenario: Optional[EmergencyBrakeScenario] = None,
                  runs: int = 5, base_seed: int = 1) -> CampaignResult:
-    """Run *runs* independent repetitions of *scenario*."""
-    scenario = scenario or EmergencyBrakeScenario()
-    results = []
-    for index in range(runs):
-        testbed = ScaleTestbed(scenario.with_seed(base_seed + index),
-                               run_id=index + 1)
-        results.append(testbed.run())
-    return CampaignResult(scenario=scenario, runs=results)
+    """Run *runs* independent repetitions of *scenario*, serially.
+
+    Thin compatibility wrapper over the campaign execution engine
+    (:func:`repro.core.campaign.run_campaign_parallel`), which also
+    offers worker pools, disk caching and progress streaming.
+    """
+    from repro.core.campaign import run_campaign_parallel
+
+    return run_campaign_parallel(scenario, runs=runs,
+                                 base_seed=base_seed, workers=1)
