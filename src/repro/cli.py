@@ -6,7 +6,9 @@ Subcommands:
 * ``campaign`` -- N runs, printing Table II / Table III / Figure 11;
 * ``blind-corner`` -- the intersection use-case, aided vs onboard;
 * ``platoon`` -- the platooning extension;
-* ``cdf`` -- a latency campaign with distribution fitting.
+* ``cdf`` -- a latency campaign with distribution fitting;
+* ``faults`` -- the fault-injection matrix (plans x seeds) with
+  SAFE/LATE/NO/SPURIOUS-stop verdicts.
 
 Examples::
 
@@ -72,6 +74,19 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _workers_count(text: str) -> int:
+    """``--workers`` value: >= 1, or 0 meaning auto (all cores)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"must be an integer >= 0, got {text!r}") from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"must be >= 0 (0 = one per core), got {value}")
+    return value
+
+
 def _check_cache_dir(cache_dir) -> None:
     """Fail with a clean CLI error if the cache dir is unusable."""
     if cache_dir is None:
@@ -87,11 +102,11 @@ def _check_cache_dir(cache_dir) -> None:
 
 
 def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--workers", type=_positive_int, default=1,
+    parser.add_argument("--workers", type=_workers_count, default=1,
                         metavar="N",
                         help="run the campaign across N worker "
-                             "processes (results are bit-identical "
-                             "for any N)")
+                             "processes; 0 = one per CPU core "
+                             "(results are bit-identical for any N)")
     parser.add_argument("--cache-dir", default=None, metavar="DIR",
                         help="cache completed runs on disk so "
                              "repeated campaigns skip them")
@@ -218,6 +233,59 @@ def cmd_cdf(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_faults(args: argparse.Namespace) -> int:
+    from repro.faults.catalogue import builtin_plans, plans_by_name
+    from repro.faults.envelope import SafetyEnvelope
+    from repro.faults.matrix import run_fault_matrix
+    from repro.faults.plan import FaultPlan
+    from repro.faults.report import render_matrix
+
+    catalogue = plans_by_name()
+    if args.list_plans:
+        for plan in builtin_plans():
+            kinds = ", ".join(f.KIND for f in plan.faults) or "(none)"
+            print(f"  {plan.name:<22} {kinds}")
+        return 0
+    if args.plan:
+        plans = []
+        for name in args.plan:
+            if name not in catalogue:
+                raise SystemExit(
+                    f"repro-testbed: error: unknown fault plan "
+                    f"{name!r}; see --list-plans")
+            plans.append(catalogue[name])
+    else:
+        plans = builtin_plans()
+    if args.plan_file:
+        import json
+
+        with open(args.plan_file, "r", encoding="utf-8") as handle:
+            plans.append(FaultPlan.from_dict(json.load(handle)))
+    _check_cache_dir(args.cache_dir)
+
+    def plan_progress(name: str, done: int, total: int) -> None:
+        print(f"  [{done}/{total}] plan {name}", file=sys.stderr)
+
+    result = run_fault_matrix(
+        _scenario_from(args),
+        plans=plans,
+        runs=args.runs,
+        base_seed=args.seed,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        envelope=SafetyEnvelope(safe_stop_margin=args.safe_margin),
+        progress=plan_progress,
+    )
+    print(f"Fault matrix: {len(plans)} plans x {args.runs} seeds "
+          f"(base seed {args.seed})")
+    print()
+    print(render_matrix(result))
+    baseline_ok = all(
+        row.availability == 1.0
+        for row in result.rows if row.plan.is_empty)
+    return 0 if baseline_ok else 1
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     from repro.core.report import ReportConfig, write_report
 
@@ -272,6 +340,27 @@ def build_parser() -> argparse.ArgumentParser:
     _add_engine_arguments(cdf_parser)
     cdf_parser.add_argument("--runs", type=int, default=20)
     cdf_parser.set_defaults(func=cmd_cdf)
+
+    faults_parser = sub.add_parser(
+        "faults", help="fault-injection matrix with verdicts")
+    _add_scenario_arguments(faults_parser)
+    _add_engine_arguments(faults_parser)
+    faults_parser.add_argument("--runs", type=int, default=5,
+                               help="seeds per fault plan")
+    faults_parser.add_argument("--plan", action="append", default=[],
+                               metavar="NAME",
+                               help="run only this built-in plan "
+                                    "(repeatable; default: all)")
+    faults_parser.add_argument("--plan-file", default=None,
+                               metavar="FILE.json",
+                               help="also run a plan loaded from a "
+                                    "JSON file")
+    faults_parser.add_argument("--list-plans", action="store_true",
+                               help="list the built-in fault plans")
+    faults_parser.add_argument("--safe-margin", type=float,
+                               default=0.53, metavar="METRES",
+                               help="SAFE_STOP threshold distance")
+    faults_parser.set_defaults(func=cmd_faults)
 
     report_parser = sub.add_parser(
         "report", help="full paper-vs-measured markdown report")

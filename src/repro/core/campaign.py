@@ -35,15 +35,19 @@ import os
 import tempfile
 from typing import Callable, List, Optional, TYPE_CHECKING
 
+import repro
 from repro.core.measurement import RunMeasurement
 from repro.core.scenario import EmergencyBrakeScenario
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.testbed import CampaignResult
+    from repro.faults.plan import FaultPlan
 
 #: Bump whenever the cache serialisation or run semantics change:
 #: entries written under another version are treated as misses.
-CACHE_FORMAT = 1
+#: v2: fault plans fold into the fingerprint; the package version is
+#: part of the payload.
+CACHE_FORMAT = 2
 
 
 # ---------------------------------------------------------------------------
@@ -51,17 +55,27 @@ CACHE_FORMAT = 1
 # ---------------------------------------------------------------------------
 
 
-def scenario_fingerprint(scenario: EmergencyBrakeScenario) -> str:
-    """A stable SHA-256 key for one ``(scenario, seed)`` work item.
+def scenario_fingerprint(scenario: EmergencyBrakeScenario,
+                         fault_plan: Optional["FaultPlan"] = None) -> str:
+    """A stable SHA-256 key for one ``(scenario, plan, seed)`` item.
 
     The frozen scenario dataclass (nested configs included) is
     flattened to canonical JSON -- sorted keys, exact float reprs --
-    and hashed together with :data:`CACHE_FORMAT`.  Changing *any*
-    field, including the seed, changes the key; constructing the same
-    scenario twice yields the same key.
+    and hashed together with :data:`CACHE_FORMAT`, the installed
+    package version and the fault plan (if any).  Changing *any*
+    scenario field (the seed included), any fault parameter or the
+    package itself changes the key; an absent plan and an *empty*
+    plan fingerprint identically, because they run identically.
     """
+    plan_dict = None
+    if fault_plan is not None and not fault_plan.is_empty:
+        plan_dict = fault_plan.to_dict()
     payload = json.dumps(
-        dataclasses.asdict(scenario),
+        {
+            "scenario": dataclasses.asdict(scenario),
+            "fault_plan": plan_dict,
+            "version": repro.__version__,
+        },
         sort_keys=True,
         separators=(",", ":"),
         default=repr,
@@ -141,15 +155,23 @@ ProgressCallback = Callable[[RunOutcome, int, int], None]
 
 
 def _execute_run(scenario: EmergencyBrakeScenario,
-                 run_id: int) -> RunMeasurement:
+                 run_id: int,
+                 fault_plan: Optional["FaultPlan"] = None,
+                 ) -> RunMeasurement:
     """Worker entry point: one fresh testbed, one run.
 
     Module-level so it pickles into pool workers; imports the testbed
-    lazily to keep the campaign module import-light.
+    (and, only when a plan is present, the injector) lazily to keep
+    the campaign module import-light.
     """
     from repro.core.testbed import ScaleTestbed
 
-    return ScaleTestbed(scenario, run_id=run_id).run()
+    testbed = ScaleTestbed(scenario, run_id=run_id)
+    if fault_plan is not None and not fault_plan.is_empty:
+        from repro.faults.injector import install_faults
+
+        install_faults(testbed, fault_plan)
+    return testbed.run()
 
 
 def run_campaign_parallel(
@@ -159,25 +181,36 @@ def run_campaign_parallel(
     workers: int = 1,
     cache_dir: Optional[str] = None,
     progress: Optional[ProgressCallback] = None,
+    fault_plan: Optional["FaultPlan"] = None,
 ) -> "CampaignResult":
     """Run *runs* repetitions of *scenario*, sharded over *workers*.
 
     Work item ``i`` runs ``scenario.with_seed(base_seed + i)`` as
     ``run_id = i + 1`` -- exactly what the serial
-    :func:`~repro.core.testbed.run_campaign` does.  With a *cache_dir*
-    already-computed runs are loaded instead of re-simulated.  Results
-    stream back in completion order (reported through *progress*) but
-    are sorted by ``run_id`` before aggregation, so the returned
-    :class:`CampaignResult` is independent of scheduling order.
+    :func:`~repro.core.testbed.run_campaign` does.  ``workers=0``
+    auto-sizes the pool to the machine (``os.cpu_count()``).  With a
+    *cache_dir* already-computed runs are loaded instead of
+    re-simulated.  A *fault_plan* is installed on every run's fresh
+    testbed (and folded into the cache fingerprint); an empty or
+    absent plan reproduces the fault-free campaign bit for bit.
+    Results stream back in completion order (reported through
+    *progress*) but are sorted by ``run_id`` before aggregation, so
+    the returned :class:`CampaignResult` is independent of scheduling
+    order.
     """
     from repro.core.testbed import CampaignResult
 
     if runs < 0:
         raise ValueError(f"runs must be >= 0, got {runs}")
-    if workers < 1:
-        raise ValueError(f"workers must be >= 1, got {workers}")
+    if workers < 0:
+        raise ValueError(f"workers must be >= 0 (0 = auto), "
+                         f"got {workers}")
+    if workers == 0:
+        workers = os.cpu_count() or 1
     scenario = scenario or EmergencyBrakeScenario()
     cache = RunCache(cache_dir) if cache_dir else None
+    if fault_plan is not None and fault_plan.is_empty:
+        fault_plan = None
 
     measurements = {}
     done = 0
@@ -196,7 +229,8 @@ def run_campaign_parallel(
     for index in range(runs):
         run_id = index + 1
         run_scenario = scenario.with_seed(base_seed + index)
-        key = scenario_fingerprint(run_scenario) if cache else None
+        key = scenario_fingerprint(run_scenario, fault_plan) \
+            if cache else None
         if cache is not None:
             hit = cache.get(key)
             if hit is not None:
@@ -215,7 +249,8 @@ def run_campaign_parallel(
         with concurrent.futures.ProcessPoolExecutor(
                 max_workers=pool_size) as pool:
             futures = {
-                pool.submit(_execute_run, run_scenario, run_id):
+                pool.submit(_execute_run, run_scenario, run_id,
+                            fault_plan):
                     (run_id, run_scenario, key)
                 for run_id, run_scenario, key in pending
             }
@@ -227,7 +262,7 @@ def run_campaign_parallel(
                 finish(run_id, run_scenario.seed, False, measurement)
     else:
         for run_id, run_scenario, key in pending:
-            measurement = _execute_run(run_scenario, run_id)
+            measurement = _execute_run(run_scenario, run_id, fault_plan)
             if cache is not None:
                 cache.put(key, measurement)
             finish(run_id, run_scenario.seed, False, measurement)

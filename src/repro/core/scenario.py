@@ -61,6 +61,14 @@ class EmergencyBrakeScenario:
     hazard_mode: str = "threshold"
     prediction_horizon: float = 1.5
 
+    #: ETSI DEN repetition: when ``denm_repetition_interval`` is set,
+    #: the triggered DENM is re-broadcast at that period (s) for
+    #: ``denm_repetition_duration`` seconds, so a warning lost to a
+    #: channel fault is recovered by a later copy.  ``None`` keeps the
+    #: paper's single-shot behaviour.
+    denm_repetition_interval: Optional[float] = None
+    denm_repetition_duration: float = 0.0
+
     # Timing calibration
     obu_poll_interval: float = 0.05
     #: Use a push notification channel instead of polling the OBU
@@ -92,6 +100,8 @@ class EmergencyBrakeScenario:
             assessment_delay=self.assessment_delay,
             mode=self.hazard_mode,
             prediction_horizon=self.prediction_horizon,
+            repetition_interval=self.denm_repetition_interval,
+            repetition_duration=self.denm_repetition_duration,
         )
 
     def with_seed(self, seed: int) -> "EmergencyBrakeScenario":

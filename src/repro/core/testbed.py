@@ -331,7 +331,8 @@ class ScaleTestbed:
             self.timeline.record(
                 Steps.HALTED,
                 sim_time=record["sim_time"],
-                clock_time=record["clock_time"])
+                clock_time=record["clock_time"],
+                x=record.get("x"), y=record.get("y"))
             self.sim.stop()
 
     # ------------------------------------------------------------------

@@ -1,0 +1,80 @@
+"""Deterministic fault injection and dependability verdicts.
+
+The subsystem has four parts:
+
+* :mod:`repro.faults.plan` -- declarative, serialisable
+  :class:`FaultPlan` descriptions (what goes wrong, when);
+* :mod:`repro.faults.injector` -- maps a plan onto the seams of a
+  live :class:`~repro.core.testbed.ScaleTestbed`;
+* :mod:`repro.faults.envelope` -- classifies each run's outcome
+  (SAFE_STOP / LATE_STOP / NO_STOP / SPURIOUS_STOP);
+* :mod:`repro.faults.matrix` -- crosses plans with seed populations
+  through the parallel campaign engine and aggregates the
+  availability/safety table (rendered by :mod:`repro.faults.report`).
+"""
+
+from repro.faults.envelope import (
+    DependabilityVerdict,
+    LATE_STOP,
+    NO_STOP,
+    SAFE_STOP,
+    SPURIOUS_STOP,
+    SafetyEnvelope,
+    VERDICTS,
+    evaluate,
+)
+from repro.faults.injector import (
+    ChannelFaultBank,
+    FaultInjector,
+    install_faults,
+)
+from repro.faults.matrix import (
+    FaultMatrixResult,
+    FaultMatrixRow,
+    run_fault_matrix,
+)
+from repro.faults.plan import (
+    ActuationFault,
+    CameraBlackout,
+    CameraFrameDrops,
+    ClockFault,
+    FAULT_TYPES,
+    Fault,
+    FaultPlan,
+    HttpDegradation,
+    Jamming,
+    NodeOutage,
+    PacketLossBurst,
+    SpuriousDenm,
+    fault_from_dict,
+)
+
+__all__ = [
+    "ActuationFault",
+    "CameraBlackout",
+    "CameraFrameDrops",
+    "ChannelFaultBank",
+    "ClockFault",
+    "DependabilityVerdict",
+    "FAULT_TYPES",
+    "Fault",
+    "FaultInjector",
+    "FaultMatrixResult",
+    "FaultMatrixRow",
+    "FaultPlan",
+    "HttpDegradation",
+    "Jamming",
+    "LATE_STOP",
+    "NO_STOP",
+    "NodeOutage",
+    "PacketLossBurst",
+    "SAFE_STOP",
+    "SPURIOUS_STOP",
+    "SafetyEnvelope",
+    "SpuriousDenm",
+    "VERDICTS",
+    "evaluate",
+    "fault_from_dict",
+    "install_faults",
+    "run_fault_matrix",
+]

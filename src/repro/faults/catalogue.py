@@ -1,0 +1,74 @@
+"""Built-in fault plans: the default fault-matrix campaign.
+
+Windows are tuned to the default scenario's timeline (start 6 m out
+at ~1.45 m/s): the vehicle crosses the Action Point around t=3.1 s,
+the DENM goes on the air around t=3.2 s and the happy-path halt lands
+around t=4 s.  A [2 s, 6 s] window therefore brackets the entire
+critical phase of the chain of action.
+
+Expected verdicts at the default seeds are tabulated in
+``EXPERIMENTS.md`` (section "Fault matrix").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.faults.plan import (
+    ActuationFault,
+    CameraBlackout,
+    CameraFrameDrops,
+    ClockFault,
+    FaultPlan,
+    HttpDegradation,
+    Jamming,
+    NodeOutage,
+    PacketLossBurst,
+    SpuriousDenm,
+)
+
+#: Start of the default injection window (s): before the Action Point.
+WINDOW_START = 2.0
+#: End of the default injection window (s): after the happy-path halt.
+WINDOW_END = 6.0
+_DURATION = WINDOW_END - WINDOW_START
+
+
+def builtin_plans() -> List[FaultPlan]:
+    """The default fault matrix, baseline first."""
+    return [
+        FaultPlan.empty("baseline"),
+        FaultPlan("rsu_outage", (
+            NodeOutage(start=WINDOW_START, duration=_DURATION,
+                       target="rsu"),)),
+        FaultPlan("camera_blackout", (
+            CameraBlackout(start=WINDOW_START),)),
+        FaultPlan("camera_frame_drops", (
+            CameraFrameDrops(start=WINDOW_START, duration=_DURATION,
+                             drop_probability=0.6),)),
+        FaultPlan("packet_loss", (
+            PacketLossBurst(start=WINDOW_START, duration=_DURATION,
+                            loss_probability=1.0),)),
+        FaultPlan("jamming", (
+            Jamming(start=WINDOW_START, duration=_DURATION,
+                    interference_dbm=-30.0),)),
+        FaultPlan("obu_http_degraded", (
+            HttpDegradation(start=WINDOW_START, duration=_DURATION,
+                            target="obu", extra_service_delay=0.05,
+                            drop_probability=0.9),)),
+        FaultPlan("edge_clock_step", (
+            ClockFault(start=WINDOW_START, target="edge",
+                       step_seconds=0.05),)),
+        FaultPlan("actuation_stuck", (
+            ActuationFault(start=WINDOW_START, duration=_DURATION,
+                           mode="stuck"),)),
+        FaultPlan("weak_brakes", (
+            ActuationFault(mode="limited", brake_factor=0.3),)),
+        FaultPlan("spurious_denm", (
+            SpuriousDenm(start=WINDOW_START),)),
+    ]
+
+
+def plans_by_name() -> Dict[str, FaultPlan]:
+    """Name -> plan for the built-in catalogue."""
+    return {plan.name: plan for plan in builtin_plans()}

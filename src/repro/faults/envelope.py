@@ -1,0 +1,139 @@
+"""Dependability verdicts: did the safety function do its job?
+
+The paper's happy-path metrics (Table II latencies, Table III braking
+distances) presume the chain of action completes.  Under injected
+faults the interesting question is categorical: classify each run by
+*what the warning chain achieved*:
+
+* ``SAFE_STOP`` -- the vehicle stopped with at least the safety
+  margin left before the camera (the scale testbed's "obstacle");
+* ``LATE_STOP`` -- it stopped, but inside the margin (or past the
+  camera): the warning arrived / acted too late;
+* ``NO_STOP`` -- the emergency stop never completed within the run
+  timeout: the warning was lost, or actuation failed;
+* ``SPURIOUS_STOP`` -- the vehicle stopped although no hazard had
+  been detected (a ghost warning): an availability failure.
+
+The default margin is one vehicle length of the 1/10-scale car
+(0.53 m, the paper's Traxxas platform) -- stopping closer than your
+own length to the obstacle is counted as a near-miss.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Any, Dict, Optional
+
+from repro.core.measurement import RunMeasurement, Steps
+
+SAFE_STOP = "SAFE_STOP"
+LATE_STOP = "LATE_STOP"
+NO_STOP = "NO_STOP"
+SPURIOUS_STOP = "SPURIOUS_STOP"
+
+#: All verdicts, in severity order (best first).
+VERDICTS = (SAFE_STOP, LATE_STOP, NO_STOP, SPURIOUS_STOP)
+
+
+@dataclasses.dataclass(frozen=True)
+class SafetyEnvelope:
+    """The classification thresholds.
+
+    Attributes:
+        safe_stop_margin: minimum camera-to-halt distance (m) for a
+            stop to count as safe; default one vehicle length.
+    """
+
+    safe_stop_margin: float = 0.53
+
+
+@dataclasses.dataclass
+class DependabilityVerdict:
+    """One run's classification plus the diagnostics behind it."""
+
+    verdict: str
+    #: Signed distance (m) left between halt point and camera
+    #: (negative: stopped past the camera); None if never halted.
+    stop_margin: Optional[float] = None
+    #: Metres travelled beyond the Action Point before halting.
+    distance_beyond_action_point: Optional[float] = None
+    #: Whether the DENM reached the OBU (step 4).
+    denm_delivered: bool = False
+    #: Whether the hazard was detected (step 2).
+    detected: bool = False
+    #: Whether the stop command reached the actuators (step 5).
+    actuated: bool = False
+    #: Whether the vehicle came to a halt (step 6).
+    halted: bool = False
+    #: Step 2 -> 5 total delay (ms, ground truth); None if incomplete.
+    total_delay_ms: Optional[float] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Canonical JSON-serialisable form."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "DependabilityVerdict":
+        """Rebuild a verdict serialised by :meth:`to_dict`."""
+        return cls(**data)
+
+
+def evaluate(measurement: RunMeasurement,
+             envelope: Optional[SafetyEnvelope] = None,
+             ) -> DependabilityVerdict:
+    """Classify one run against the envelope.
+
+    Pure function of the measurement: the same (scenario, plan, seed)
+    run always yields the same verdict, so verdicts inherit the
+    campaign engine's bit-reproducibility.
+    """
+    env = envelope or SafetyEnvelope()
+    timeline = measurement.timeline
+    detection = timeline.get(Steps.DETECTION)
+    actuators = timeline.get(Steps.ACTUATORS)
+    halted_record = timeline.get(Steps.HALTED)
+    detected = detection is not None
+    actuated = actuators is not None
+    halted = halted_record is not None
+    denm_delivered = timeline.has(Steps.OBU_RECEIVED)
+
+    total_delay = measurement.total_delay(use_clock=False)
+    total_delay_ms = None if total_delay is None else total_delay * 1000.0
+
+    stop_margin: Optional[float] = None
+    beyond_action: Optional[float] = None
+    if halted:
+        halt_x = halted_record.detail.get("x")
+        if halt_x is not None:
+            # Camera at the origin, vehicle approaching along +x:
+            # the halt abscissa *is* the signed margin.
+            stop_margin = float(halt_x)
+        else:
+            stop_margin = measurement.final_distance_to_camera
+        beyond_action = measurement.distance_from_action_point
+
+    verdict = NO_STOP
+    if actuated and (not detected
+                     or actuators.sim_time < detection.sim_time):
+        # Stopped on a warning that preceded any real detection: a
+        # ghost DENM did this, not the safety chain.
+        verdict = SPURIOUS_STOP
+    elif not actuated or not halted:
+        verdict = NO_STOP
+    elif stop_margin is not None and not math.isnan(stop_margin) \
+            and stop_margin >= env.safe_stop_margin:
+        verdict = SAFE_STOP
+    else:
+        verdict = LATE_STOP
+
+    return DependabilityVerdict(
+        verdict=verdict,
+        stop_margin=stop_margin,
+        distance_beyond_action_point=beyond_action,
+        denm_delivered=denm_delivered,
+        detected=detected,
+        actuated=actuated,
+        halted=halted,
+        total_delay_ms=total_delay_ms,
+    )

@@ -1,0 +1,337 @@
+"""Maps a :class:`~repro.faults.plan.FaultPlan` onto a live testbed.
+
+Each fault kind attaches to a purpose-built seam of the assembled
+:class:`~repro.core.testbed.ScaleTestbed`:
+
+======================  ==============================================
+fault kind              seam
+======================  ==============================================
+``node_outage``         ``rsu.http.online`` + channel blackout of the
+                        RSU NIC; ``edge`` outages disable the camera
+``camera_blackout``     ``edge.camera.enabled``
+``camera_frame_drops``  ``edge.camera.drop_filter``
+``packet_loss``         ``medium.impairment`` (drop receptions)
+``jamming``             ``medium.impairment`` (raise the noise floor)
+``http_degradation``    swap the server's frozen ``HttpConfig``
+``clock_fault``         ``DeviceClock.apply_step`` / ``apply_drift``
+``actuation``           ``vehicle.actuation.blocked`` or reduced
+                        ``brake_deceleration``
+``spurious_denm``       ``obu.inject_denm``
+======================  ==============================================
+
+Every transition is scheduled on the simulation kernel at install
+time, in plan order, so two runs of the same (scenario, plan, seed)
+triple interleave identically.  All fault randomness comes from
+dedicated ``faults.*`` :class:`~repro.sim.randomness.RandomStreams`
+substreams; installing an *empty* plan touches nothing, keeping the
+baseline bit-identical to a run with no injector at all.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.faults.plan import (
+    ActuationFault,
+    CameraBlackout,
+    CameraFrameDrops,
+    ClockFault,
+    Fault,
+    FaultPlan,
+    HttpDegradation,
+    Jamming,
+    NodeOutage,
+    PacketLossBurst,
+    SpuriousDenm,
+)
+from repro.net.medium import ChannelImpairment
+from repro.net.propagation import dbm_to_mw
+
+#: Originating station ID stamped on ghost DENMs, far outside the
+#: testbed's real station IDs (OBU 101, RSU 900).
+GHOST_STATION_ID = 0xDEAD
+
+
+class ChannelFaultBank(ChannelImpairment):
+    """All RF faults of one plan, evaluated against ``sim.now``.
+
+    Window checks are stateless (pure functions of the current time),
+    so the bank needs no per-window scheduling; probabilistic drops
+    draw from the dedicated ``faults.channel`` substream only while a
+    loss window is active.
+    """
+
+    def __init__(self, rng: np.random.Generator):
+        self._rng = rng
+        #: (station name, start, end): the NIC neither sends nor hears.
+        self.blackouts: List[tuple] = []
+        self.losses: List[PacketLossBurst] = []
+        self.jammers: List[Jamming] = []
+
+    @property
+    def is_empty(self) -> bool:
+        return not (self.blackouts or self.losses or self.jammers)
+
+    def add_blackout(self, station: str, start: float, end: float) -> None:
+        self.blackouts.append((station, start, end))
+
+    def tx_blocked(self, sender_name: str, now: float) -> bool:
+        return any(station == sender_name and start <= now < end
+                   for station, start, end in self.blackouts)
+
+    def drop_rx(self, receiver_name: str, now: float) -> bool:
+        if self.tx_blocked(receiver_name, now):
+            return True
+        for fault in self.losses:
+            if not fault.active(now):
+                continue
+            if fault.station is not None and fault.station != receiver_name:
+                continue
+            if self._rng.random() < fault.loss_probability:
+                return True
+        return False
+
+    def extra_interference_mw(self, receiver_name: str, now: float) -> float:
+        return sum(dbm_to_mw(fault.interference_dbm)
+                   for fault in self.jammers if fault.active(now))
+
+
+class FaultInjector:
+    """Installs one plan's faults onto one testbed (see module doc)."""
+
+    def __init__(self, testbed, plan: FaultPlan):
+        self.testbed = testbed
+        self.plan = plan
+        self.sim = testbed.sim
+        #: (sim_time, fault kind, transition) log, for diagnostics.
+        self.transitions: List[tuple] = []
+        self._bank: Optional[ChannelFaultBank] = None
+
+    # ------------------------------------------------------------------
+    # Install
+    # ------------------------------------------------------------------
+
+    def install(self) -> None:
+        """Attach every fault of the plan (no-op for an empty plan)."""
+        for fault in self.plan.faults:
+            handler = self._DISPATCH[type(fault)]
+            handler(self, fault)
+        if self._bank is not None and not self._bank.is_empty:
+            self.testbed.medium.impairment = self._bank
+
+    def _log(self, fault: Fault, transition: str) -> None:
+        self.transitions.append((self.sim.now, fault.KIND, transition))
+
+    def _at(self, when: float, action) -> None:
+        """Schedule *action* at absolute sim time *when* (if finite)."""
+        if not math.isfinite(when):
+            return
+        self.sim.schedule(max(0.0, when - self.sim.now), action)
+
+    def _bank_for_plan(self) -> ChannelFaultBank:
+        if self._bank is None:
+            self._bank = ChannelFaultBank(
+                self.testbed.streams.get("faults.channel"))
+        return self._bank
+
+    # ------------------------------------------------------------------
+    # Per-kind handlers
+    # ------------------------------------------------------------------
+
+    def _install_node_outage(self, fault: NodeOutage) -> None:
+        if fault.target in ("rsu", "rsu_radio"):
+            # The radio is down for the window either way.
+            self._bank_for_plan().add_blackout("rsu", fault.start, fault.end)
+        if fault.target == "rsu":
+            server = self.testbed.rsu.http
+
+            def crash() -> None:
+                server.online = False
+                self._log(fault, "activate")
+
+            def restart() -> None:
+                server.online = True
+                self._log(fault, "deactivate")
+
+            self._at(fault.start, crash)
+            self._at(fault.end, restart)
+        elif fault.target == "edge":
+            camera = self.testbed.edge.camera
+
+            def crash() -> None:
+                camera.enabled = False
+                self._log(fault, "activate")
+
+            def restart() -> None:
+                camera.enabled = True
+                self._log(fault, "deactivate")
+
+            self._at(fault.start, crash)
+            self._at(fault.end, restart)
+        else:
+            self._at(fault.start, lambda: self._log(fault, "activate"))
+            self._at(fault.end, lambda: self._log(fault, "deactivate"))
+
+    def _install_camera_blackout(self, fault: CameraBlackout) -> None:
+        camera = self.testbed.edge.camera
+
+        def activate() -> None:
+            camera.enabled = False
+            self._log(fault, "activate")
+
+        def deactivate() -> None:
+            camera.enabled = True
+            self._log(fault, "deactivate")
+
+        self._at(fault.start, activate)
+        self._at(fault.end, deactivate)
+
+    def _install_camera_frame_drops(self, fault: CameraFrameDrops) -> None:
+        camera = self.testbed.edge.camera
+        rng = self.testbed.streams.get("faults.camera")
+        previous = camera.drop_filter
+
+        def drop(frame) -> bool:
+            if previous is not None and previous(frame):
+                return True
+            return (fault.active(self.sim.now)
+                    and rng.random() < fault.drop_probability)
+
+        camera.drop_filter = drop
+        self._at(fault.start, lambda: self._log(fault, "activate"))
+        self._at(fault.end, lambda: self._log(fault, "deactivate"))
+
+    def _install_packet_loss(self, fault: PacketLossBurst) -> None:
+        self._bank_for_plan().losses.append(fault)
+        self._at(fault.start, lambda: self._log(fault, "activate"))
+        self._at(fault.end, lambda: self._log(fault, "deactivate"))
+
+    def _install_jamming(self, fault: Jamming) -> None:
+        self._bank_for_plan().jammers.append(fault)
+        self._at(fault.start, lambda: self._log(fault, "activate"))
+        self._at(fault.end, lambda: self._log(fault, "deactivate"))
+
+    def _install_http_degradation(self, fault: HttpDegradation) -> None:
+        server = (self.testbed.rsu.http if fault.target == "rsu"
+                  else self.testbed.obu.http)
+        healthy = server.config
+
+        def degrade() -> None:
+            server.config = dataclasses.replace(
+                healthy,
+                service_mean=(healthy.service_mean
+                              + fault.extra_service_delay),
+                drop_probability=min(1.0, healthy.drop_probability
+                                     + fault.drop_probability),
+            )
+            self._log(fault, "activate")
+
+        def recover() -> None:
+            server.config = healthy
+            self._log(fault, "deactivate")
+
+        self._at(fault.start, degrade)
+        self._at(fault.end, recover)
+
+    #: clock-fault target -> DeviceClock path on the testbed.
+    _CLOCKS = {
+        "edge": lambda tb: tb.edge.clock,
+        "rsu": lambda tb: tb.rsu.station.clock,
+        "obu": lambda tb: tb.obu.station.clock,
+        "vehicle": lambda tb: tb.vehicle.clock,
+    }
+
+    def _install_clock_fault(self, fault: ClockFault) -> None:
+        clock = self._CLOCKS[fault.target](self.testbed)
+
+        def upset() -> None:
+            if fault.step_seconds:
+                clock.apply_step(fault.step_seconds)
+            if fault.drift_ppm:
+                clock.apply_drift(fault.drift_ppm)
+            self._log(fault, "activate")
+
+        def settle() -> None:
+            # The extra drift ends with the window; the step persists
+            # until the next NTP correction, like a real excursion.
+            if fault.drift_ppm:
+                clock.apply_drift(-fault.drift_ppm)
+            self._log(fault, "deactivate")
+
+        self._at(fault.start, upset)
+        self._at(fault.end, settle)
+
+    def _install_actuation(self, fault: ActuationFault) -> None:
+        if fault.mode == "stuck":
+            actuation = self.testbed.vehicle.actuation
+
+            def wedge() -> None:
+                actuation.blocked = True
+                self._log(fault, "activate")
+
+            def unwedge() -> None:
+                actuation.blocked = False
+                self._log(fault, "deactivate")
+
+            self._at(fault.start, wedge)
+            self._at(fault.end, unwedge)
+        else:  # "limited"
+            dynamics = self.testbed.vehicle.dynamics
+            healthy = dynamics.params
+
+            def weaken() -> None:
+                dynamics.params = dataclasses.replace(
+                    healthy,
+                    brake_deceleration=(healthy.brake_deceleration
+                                        * fault.brake_factor))
+                self._log(fault, "activate")
+
+            def restore() -> None:
+                dynamics.params = healthy
+                self._log(fault, "deactivate")
+
+            self._at(fault.start, weaken)
+            self._at(fault.end, restore)
+
+    def _install_spurious_denm(self, fault: SpuriousDenm) -> None:
+        obu = self.testbed.obu
+
+        def inject() -> None:
+            self._log(fault, "activate")
+            obu.inject_denm({
+                "actionId": {"originatingStationID": GHOST_STATION_ID,
+                             "sequenceNumber": 0},
+                "situation": {"causeCode": fault.cause_code,
+                              "subCauseCode": 0},
+                "termination": None,
+            })
+
+        self._at(fault.start, inject)
+
+    _DISPATCH: Dict[type, Any] = {
+        NodeOutage: _install_node_outage,
+        CameraBlackout: _install_camera_blackout,
+        CameraFrameDrops: _install_camera_frame_drops,
+        PacketLossBurst: _install_packet_loss,
+        Jamming: _install_jamming,
+        HttpDegradation: _install_http_degradation,
+        ClockFault: _install_clock_fault,
+        ActuationFault: _install_actuation,
+        SpuriousDenm: _install_spurious_denm,
+    }
+
+
+def install_faults(testbed, plan: Optional[FaultPlan]) -> Optional[
+        FaultInjector]:
+    """Install *plan* on *testbed*; returns the injector, or ``None``
+    for a missing/empty plan (nothing is touched in that case, so the
+    run stays bit-identical to one without any fault machinery)."""
+    if plan is None or plan.is_empty:
+        return None
+    injector = FaultInjector(testbed, plan)
+    injector.install()
+    return injector

@@ -1,0 +1,329 @@
+"""Declarative fault plans: typed fault models with activation windows.
+
+A :class:`FaultPlan` is a frozen, JSON-serialisable description of
+*what goes wrong and when* during one run -- the dependability
+analogue of :class:`~repro.core.scenario.EmergencyBrakeScenario`.
+Each fault is a frozen dataclass with an activation window
+(``start``/``duration`` in simulated seconds) plus type-specific
+parameters; :mod:`repro.faults.injector` maps each type onto the
+seams of the assembled testbed.
+
+Plans serialise canonically (``to_dict``/``from_dict`` like
+:class:`~repro.core.measurement.RunMeasurement`), so they can be
+folded into the campaign cache fingerprint, stored in experiment
+files, and compared bit for bit: two plans are *the same plan* iff
+their ``to_dict()`` forms compare equal.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Any, ClassVar, Dict, Optional, Tuple, Type
+
+
+@dataclasses.dataclass(frozen=True)
+class Fault:
+    """One fault with an activation window.
+
+    ``start`` is when the fault activates (simulated seconds);
+    ``duration`` how long it stays active.  A fault that should last
+    for the rest of the run uses an infinite duration (serialised as
+    the string ``"inf"``).
+    """
+
+    KIND: ClassVar[str] = ""
+
+    start: float = 0.0
+    duration: float = math.inf
+
+    @property
+    def end(self) -> float:
+        """When the fault deactivates (may be +inf)."""
+        return self.start + self.duration
+
+    def active(self, now: float) -> bool:
+        """Whether the fault is active at time *now*."""
+        return self.start <= now < self.end
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Canonical JSON-serialisable form (kind + every field)."""
+        data: Dict[str, Any] = {"kind": self.KIND}
+        for field in dataclasses.fields(self):
+            value = getattr(self, field.name)
+            if isinstance(value, float) and math.isinf(value):
+                value = "inf"
+            data[field.name] = value
+        return data
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise ValueError(f"fault start must be >= 0, got {self.start}")
+        if self.duration < 0:
+            raise ValueError(
+                f"fault duration must be >= 0, got {self.duration}")
+
+
+@dataclasses.dataclass(frozen=True)
+class NodeOutage(Fault):
+    """A component crashes for the window, then restarts.
+
+    Targets:
+
+    * ``"rsu"`` -- the whole RSU board: its OpenC2X web service stops
+      answering (requests are dropped; clients see timeouts) and its
+      radio neither transmits nor receives;
+    * ``"rsu_radio"`` -- only the RSU's 802.11p radio is down (the web
+      service keeps accepting ``/trigger_denm``, so queued DEN
+      repetitions resume on the air after the restart);
+    * ``"edge"`` -- the edge node: the road-side camera stops
+      producing frames, so no detections and no hazard triggers.
+    """
+
+    KIND: ClassVar[str] = "node_outage"
+
+    target: str = "rsu"
+
+    VALID_TARGETS: ClassVar[Tuple[str, ...]] = ("rsu", "rsu_radio", "edge")
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.target not in self.VALID_TARGETS:
+            raise ValueError(
+                f"unknown outage target {self.target!r}; "
+                f"expected one of {self.VALID_TARGETS}")
+
+
+@dataclasses.dataclass(frozen=True)
+class CameraBlackout(Fault):
+    """The road-side camera produces no frames during the window."""
+
+    KIND: ClassVar[str] = "camera_blackout"
+
+
+@dataclasses.dataclass(frozen=True)
+class CameraFrameDrops(Fault):
+    """A burst of dropped camera frames (each frame lost i.i.d.)."""
+
+    KIND: ClassVar[str] = "camera_frame_drops"
+
+    drop_probability: float = 0.5
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0.0 <= self.drop_probability <= 1.0:
+            raise ValueError(
+                f"drop_probability must be in [0, 1], "
+                f"got {self.drop_probability}")
+
+
+@dataclasses.dataclass(frozen=True)
+class PacketLossBurst(Fault):
+    """Frames on the wireless medium are lost during the window.
+
+    With ``station`` set, only receptions *at* that NIC are affected
+    (a localised fade around one antenna); otherwise every receiver
+    on the channel suffers.
+    """
+
+    KIND: ClassVar[str] = "packet_loss"
+
+    loss_probability: float = 1.0
+    station: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0.0 <= self.loss_probability <= 1.0:
+            raise ValueError(
+                f"loss_probability must be in [0, 1], "
+                f"got {self.loss_probability}")
+
+
+@dataclasses.dataclass(frozen=True)
+class Jamming(Fault):
+    """Broadband interference raises the noise floor at every receiver.
+
+    ``interference_dbm`` is the jammer power as seen at the victim
+    receivers; it adds to the interference term of the SINR, driving
+    up the packet error rate of the 802.11p PHY.
+    """
+
+    KIND: ClassVar[str] = "jamming"
+
+    interference_dbm: float = -85.0
+
+
+@dataclasses.dataclass(frozen=True)
+class HttpDegradation(Fault):
+    """The OpenC2X web service of one unit slows down / times out.
+
+    ``extra_service_delay`` is added to the server's mean service
+    time during the window; ``drop_probability`` makes requests or
+    responses vanish in transit (clients need timeouts to survive).
+    """
+
+    KIND: ClassVar[str] = "http_degradation"
+
+    target: str = "obu"
+    extra_service_delay: float = 0.0
+    drop_probability: float = 0.0
+
+    VALID_TARGETS: ClassVar[Tuple[str, ...]] = ("rsu", "obu")
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.target not in self.VALID_TARGETS:
+            raise ValueError(
+                f"unknown http target {self.target!r}; "
+                f"expected one of {self.VALID_TARGETS}")
+        if not 0.0 <= self.drop_probability <= 1.0:
+            raise ValueError(
+                f"drop_probability must be in [0, 1], "
+                f"got {self.drop_probability}")
+
+
+@dataclasses.dataclass(frozen=True)
+class ClockFault(Fault):
+    """One device's NTP-disciplined clock steps and/or drifts.
+
+    At ``start`` the clock jumps by ``step_seconds`` and picks up an
+    additional frequency error of ``drift_ppm``; at the window end
+    the extra drift is removed (the step stays until the next NTP
+    correction re-pulls the offset, exactly like a real clock upset).
+    Affects the device-clock timestamps (Table II methodology), not
+    the physical simulation.
+    """
+
+    KIND: ClassVar[str] = "clock_fault"
+
+    target: str = "edge"
+    step_seconds: float = 0.0
+    drift_ppm: float = 0.0
+
+    VALID_TARGETS: ClassVar[Tuple[str, ...]] = (
+        "edge", "rsu", "obu", "vehicle")
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.target not in self.VALID_TARGETS:
+            raise ValueError(
+                f"unknown clock target {self.target!r}; "
+                f"expected one of {self.VALID_TARGETS}")
+
+
+@dataclasses.dataclass(frozen=True)
+class ActuationFault(Fault):
+    """The vehicle's actuation path degrades.
+
+    * ``"stuck"`` -- commands sent during the window never reach the
+      ESC/servo (a wedged Teensy): an emergency stop commanded while
+      stuck is silently lost;
+    * ``"limited"`` -- braking force is reduced to ``brake_factor``
+      of nominal (worn tyres / weak drag brake), so the vehicle
+      still stops, but much later.
+    """
+
+    KIND: ClassVar[str] = "actuation"
+
+    mode: str = "stuck"
+    brake_factor: float = 0.25
+
+    VALID_MODES: ClassVar[Tuple[str, ...]] = ("stuck", "limited")
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.mode not in self.VALID_MODES:
+            raise ValueError(
+                f"unknown actuation mode {self.mode!r}; "
+                f"expected one of {self.VALID_MODES}")
+        if self.brake_factor <= 0:
+            raise ValueError(
+                f"brake_factor must be > 0, got {self.brake_factor}")
+
+
+@dataclasses.dataclass(frozen=True)
+class SpuriousDenm(Fault):
+    """A ghost DENM appears in the OBU's queue at ``start``.
+
+    Models a replayed / forged / mis-addressed warning reaching the
+    vehicle with no physical hazard behind it -- the fault that
+    produces SPURIOUS_STOP verdicts (stopping when nothing required
+    it is itself a safety and availability failure).
+    """
+
+    KIND: ClassVar[str] = "spurious_denm"
+
+    cause_code: int = 97
+
+
+#: kind string -> fault class, for deserialisation.
+FAULT_TYPES: Dict[str, Type[Fault]] = {
+    cls.KIND: cls
+    for cls in (NodeOutage, CameraBlackout, CameraFrameDrops,
+                PacketLossBurst, Jamming, HttpDegradation, ClockFault,
+                ActuationFault, SpuriousDenm)
+}
+
+
+def fault_from_dict(data: Dict[str, Any]) -> Fault:
+    """Rebuild one fault serialised by :meth:`Fault.to_dict`."""
+    kind = data.get("kind")
+    cls = FAULT_TYPES.get(kind)
+    if cls is None:
+        raise ValueError(
+            f"unknown fault kind {kind!r}; known kinds: "
+            f"{sorted(FAULT_TYPES)}")
+    kwargs = {}
+    for field in dataclasses.fields(cls):
+        if field.name not in data:
+            continue
+        value = data[field.name]
+        if value == "inf":
+            value = math.inf
+        kwargs[field.name] = value
+    unknown = set(data) - {"kind"} - {f.name for f in
+                                      dataclasses.fields(cls)}
+    if unknown:
+        raise ValueError(
+            f"unknown field(s) {sorted(unknown)} for fault kind "
+            f"{kind!r}")
+    return cls(**kwargs)
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultPlan:
+    """A named, ordered collection of faults for one run."""
+
+    name: str = "baseline"
+    faults: Tuple[Fault, ...] = ()
+
+    def __post_init__(self) -> None:
+        # Accept any iterable of faults, store canonically as a tuple.
+        if not isinstance(self.faults, tuple):
+            object.__setattr__(self, "faults", tuple(self.faults))
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether this plan injects nothing (the baseline)."""
+        return not self.faults
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Canonical JSON-serialisable form of the whole plan."""
+        return {
+            "name": self.name,
+            "faults": [fault.to_dict() for fault in self.faults],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultPlan":
+        """Rebuild a plan serialised by :meth:`to_dict`."""
+        return cls(
+            name=data.get("name", "baseline"),
+            faults=tuple(fault_from_dict(entry)
+                         for entry in data.get("faults", [])),
+        )
+
+    @staticmethod
+    def empty(name: str = "baseline") -> "FaultPlan":
+        """The no-fault plan (runs reproduce the happy path exactly)."""
+        return FaultPlan(name=name)

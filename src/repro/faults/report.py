@@ -1,0 +1,38 @@
+"""Render fault-matrix results as a markdown table."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.faults.envelope import VERDICTS
+from repro.faults.matrix import FaultMatrixResult
+
+#: Verdict -> column heading.
+_HEADINGS = {
+    "SAFE_STOP": "safe",
+    "LATE_STOP": "late",
+    "NO_STOP": "no stop",
+    "SPURIOUS_STOP": "spurious",
+}
+
+
+def render_matrix(result: FaultMatrixResult) -> str:
+    """The aggregated per-fault availability/safety table."""
+    header = (["plan", "runs"]
+              + [_HEADINGS[verdict] for verdict in VERDICTS]
+              + ["availability", "DENM delivery", "mean margin (m)"])
+    lines: List[str] = [
+        "| " + " | ".join(header) + " |",
+        "|" + "|".join("---" for _ in header) + "|",
+    ]
+    for row in result.rows:
+        margin = row.mean_stop_margin
+        cells = [row.name, str(row.runs)]
+        cells += [str(row.count(verdict)) for verdict in VERDICTS]
+        cells += [
+            f"{row.availability:.2f}",
+            f"{row.denm_delivery_rate:.2f}",
+            "-" if margin is None else f"{margin:+.3f}",
+        ]
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)

@@ -30,6 +30,31 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.net.nic import NetworkInterface
 
 
+class ChannelImpairment:
+    """Fault-injection seam of the medium (see :mod:`repro.faults`).
+
+    An impairment sees every transmission and reception attempt and
+    may suppress transmissions (a powered-off radio), drop receptions
+    (a localised blackout / loss burst) or add interference energy (a
+    jammer).  The default implementation is transparent, and a medium
+    without an impairment behaves bit-identically to one carrying
+    this no-op -- the seam costs nothing on the happy path.
+    """
+
+    def tx_blocked(self, sender_name: str, now: float) -> bool:
+        """Whether *sender_name*'s transmission is suppressed at *now*."""
+        return False
+
+    def drop_rx(self, receiver_name: str, now: float) -> bool:
+        """Whether the reception at *receiver_name* is lost at *now*."""
+        return False
+
+    def extra_interference_mw(self, receiver_name: str,
+                              now: float) -> float:
+        """Additional interference energy (mW) at *receiver_name*."""
+        return 0.0
+
+
 @dataclasses.dataclass
 class ReceptionInfo:
     """Delivered alongside a decoded frame."""
@@ -70,12 +95,16 @@ class WirelessMedium:
         self._active: List[_Transmission] = []
         self._tx_ids = itertools.count(1)
         self._busy_state: Dict[str, bool] = {}
+        #: Fault-injection seam; None on the (unimpaired) happy path.
+        self.impairment: Optional[ChannelImpairment] = None
         # Statistics
         self.frames_sent = 0
         self.frames_delivered = 0
         self.frames_lost_noise = 0
         self.frames_lost_collision = 0
         self.frames_below_sensitivity = 0
+        self.frames_suppressed = 0
+        self.frames_lost_fault = 0
 
     # ------------------------------------------------------------------
     # Attachment
@@ -125,6 +154,12 @@ class WirelessMedium:
         """Start transmitting *frame* from *sender*; returns the airtime."""
         duration = sender.phy.airtime(frame.wire_size)
         now = self.sim.now
+        if self.impairment is not None and self.impairment.tx_blocked(
+                sender.name, now):
+            # The radio is down: the stack believes it transmitted
+            # (airtime is still charged) but nothing goes on the air.
+            self.frames_suppressed += 1
+            return duration
         tx = _Transmission(
             tx_id=next(self._tx_ids),
             sender=sender,
@@ -189,12 +224,20 @@ class WirelessMedium:
         if rx_power_dbm < nic.phy.rx_sensitivity_dbm:
             self.frames_below_sensitivity += 1
             return
+        if self.impairment is not None and self.impairment.drop_rx(
+                nic.name, self.sim.now):
+            self.frames_lost_fault += 1
+            nic.on_frame_lost(tx.frame, reason="fault")
+            return
         if self._was_transmitting_during(nic, tx):
             self.frames_lost_collision += 1
             nic.on_frame_lost(tx.frame, reason="half-duplex")
             return
         noise_mw = dbm_to_mw(nic.phy.noise_power_dbm)
         interference_mw = tx.interference_mw.get(nic.name, 0.0)
+        if self.impairment is not None:
+            interference_mw += self.impairment.extra_interference_mw(
+                nic.name, self.sim.now)
         sinr_linear = dbm_to_mw(rx_power_dbm) / (noise_mw + interference_mw)
         per = nic.phy.mcs.packet_error_rate(sinr_linear, tx.frame.wire_size)
         if self.rng.random() < per:
@@ -239,4 +282,6 @@ class WirelessMedium:
             "lost_noise": self.frames_lost_noise,
             "lost_collision": self.frames_lost_collision,
             "below_sensitivity": self.frames_below_sensitivity,
+            "suppressed": self.frames_suppressed,
+            "lost_fault": self.frames_lost_fault,
         }

@@ -77,6 +77,11 @@ class HttpServer:
             deque()
         self._busy = False
         self.requests_served = 0
+        #: Fault-injection seam: an offline server (crashed process /
+        #: powered-down board) silently drops requests; clients only
+        #: survive through their timeouts.
+        self.online = True
+        self.requests_dropped = 0
 
     def route(self, path: str, handler: Handler) -> None:
         """Register *handler* for POSTs to *path*."""
@@ -85,6 +90,9 @@ class HttpServer:
     def submit(self, path: str, body: Dict[str, Any],
                respond: Callable[[int, Dict[str, Any]], None]) -> None:
         """Accept a request (already past the network leg)."""
+        if not self.online:
+            self.requests_dropped += 1
+            return
         self._queue.append((path, body, respond))
         if not self._busy:
             self._serve_next()

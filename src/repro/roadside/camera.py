@@ -83,10 +83,16 @@ class RoadsideCamera:
         self.fps = fps
         self.fov = fov
         self.max_range = max_range
+        #: Fault-injection seam: a disabled camera keeps its frame
+        #: clock running but publishes nothing (a blacked-out sensor).
+        self.enabled = enabled
+        #: Fault-injection seam: when set, frames for which the
+        #: filter returns True are silently dropped.
+        self.drop_filter: Optional[Callable[[CameraFrame], bool]] = None
         self._objects: List[SceneObject] = []
         self.frames_captured = 0
-        if enabled:
-            sim.schedule(1.0 / fps, self._capture)
+        self.frames_dropped = 0
+        sim.schedule(1.0 / fps, self._capture)
 
     def add_object(self, obj: SceneObject) -> None:
         """Track *obj* in the scene."""
@@ -127,12 +133,19 @@ class RoadsideCamera:
         return tuple(visible)
 
     def _capture(self) -> None:
+        if not self.enabled:
+            self.sim.schedule(1.0 / self.fps, self._capture)
+            return
         frame = CameraFrame(
             objects=self.observe(),
             captured_at=self.sim.now,
             sequence=self.frames_captured,
         )
         self.frames_captured += 1
+        if self.drop_filter is not None and self.drop_filter(frame):
+            self.frames_dropped += 1
+            self.sim.schedule(1.0 / self.fps, self._capture)
+            return
         self.publish(frame)
         self.sim.schedule(1.0 / self.fps, self._capture)
 

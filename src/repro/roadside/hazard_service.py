@@ -82,6 +82,12 @@ class HazardConfig:
     information_quality: int = 3
     validity_duration: int = 10
     area_radius: float = 50.0
+    #: When set, ask the RSU to repeat the DENM every
+    #: ``repetition_interval`` seconds for ``repetition_duration``
+    #: seconds -- the ETSI DEN repetition mechanism that recovers
+    #: warnings lost to channel faults or radio outages.
+    repetition_interval: Optional[float] = None
+    repetition_duration: float = 0.0
 
 
 class HazardAdvertisementService:
@@ -268,6 +274,9 @@ class HazardAdvertisementService:
             "validityDuration": self.config.validity_duration,
             "areaRadius": self.config.area_radius,
         }
+        if self.config.repetition_interval is not None:
+            body["repetitionInterval"] = self.config.repetition_interval
+            body["repetitionDuration"] = self.config.repetition_duration
         self.sim.schedule(
             self.config.assessment_delay,
             lambda: self._post_trigger(body, detection.object_name))

@@ -103,6 +103,30 @@ class DeviceClock:
             reading += float(self._rng.normal(0.0, self.model.read_jitter_std))
         return reading
 
+    # ------------------------------------------------------------------
+    # Fault-injection seams (see repro.faults)
+    # ------------------------------------------------------------------
+
+    def apply_step(self, seconds: float) -> None:
+        """Jump the clock by *seconds* (an NTP step / upset).
+
+        The step persists until the next NTP correction re-pulls the
+        offset towards zero, exactly like a real clock excursion.
+        """
+        self._offset += seconds
+
+    def apply_drift(self, ppm: float) -> None:
+        """Add *ppm* of frequency error from now on.
+
+        The accumulated offset so far is rebased first, so changing
+        the drift never rewrites history; pass a negative value to
+        remove a previously injected drift.
+        """
+        elapsed = self.sim.now - self._last_correction
+        self._offset += self._drift * elapsed
+        self._last_correction = self.sim.now
+        self._drift += ppm * 1e-6
+
     def _schedule_correction(self) -> None:
         self.sim.schedule(self.model.poll_interval, self._correct)
 

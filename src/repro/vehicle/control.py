@@ -47,6 +47,10 @@ class ActuationPath:
         self.config = config or ActuationConfig()
         self._next_pwm_edge = 0.0
         self.commands_delivered = 0
+        #: Fault-injection seam: a blocked path (wedged MCU / dead
+        #: USART) silently loses every command issued while blocked.
+        self.blocked = False
+        self.commands_dropped = 0
 
     def _latency(self) -> float:
         usart = max(0.0, float(self.rng.normal(
@@ -63,6 +67,9 @@ class ActuationPath:
 
         Returns the latency charged (s).
         """
+        if self.blocked:
+            self.commands_dropped += 1
+            return 0.0
         latency = self._latency()
 
         def deliver() -> None:

@@ -51,6 +51,7 @@ class MessageHandler:
         self._hooks: List[EventHook] = []
         self.polls = 0
         self.timeouts = 0
+        self.retries = 0
         self.denms_handled = 0
         self.last_denm: Optional[Dict[str, Any]] = None
         self._running = False
@@ -80,16 +81,36 @@ class MessageHandler:
 
     #: Give up on a poll after this long (lost request/response).
     REQUEST_TIMEOUT = 0.5
+    #: First retry delay after a timed-out poll (s); doubles per
+    #: consecutive timeout up to RETRY_BACKOFF_CAP.
+    RETRY_BACKOFF_INITIAL = 5e-3
+    RETRY_BACKOFF_CAP = 0.2
 
     def _poll_loop(self):
+        consecutive_timeouts = 0
         while self._running:
             self.polls += 1
             response: HttpResponse = yield self.client.post(
                 self.obu_server, "/request_denm",
                 timeout=self.REQUEST_TIMEOUT)
             if response.status == self.client.TIMEOUT_STATUS:
+                # The OBU (or the hop to it) is unresponsive: retry
+                # with capped exponential backoff rather than waiting
+                # out the regular poll tick -- a recovered OBU is
+                # re-polled quickly, a dead one is not hammered.
                 self.timeouts += 1
-            elif response.ok and "denm" in response.body:
+                consecutive_timeouts += 1
+                backoff = min(
+                    self.RETRY_BACKOFF_CAP,
+                    self.RETRY_BACKOFF_INITIAL
+                    * 2 ** (consecutive_timeouts - 1))
+                self.retries += 1
+                self._emit("poll_retry", attempt=consecutive_timeouts,
+                           backoff=backoff)
+                yield Timeout(backoff)
+                continue
+            consecutive_timeouts = 0
+            if response.ok and "denm" in response.body:
                 self._handle_denm(response.body["denm"])
             yield Timeout(self.poll_interval)
 

@@ -81,9 +81,16 @@ class TestSerialParallelEquivalence:
 
     def test_invalid_arguments_rejected(self):
         with pytest.raises(ValueError, match="workers"):
-            run_campaign_parallel(FAST, runs=2, workers=0)
+            run_campaign_parallel(FAST, runs=2, workers=-1)
         with pytest.raises(ValueError, match="runs"):
             run_campaign_parallel(FAST, runs=-1)
+
+    def test_workers_zero_means_auto(self):
+        # 0 = one worker per core; a one-run campaign exercises the
+        # resolution without paying for a real pool fan-out.
+        result = run_campaign_parallel(FAST, runs=1, workers=0)
+        assert len(result.runs) == 1
+        assert result.runs[0].completed
 
     def test_zero_runs_is_empty_campaign(self):
         result = run_campaign_parallel(FAST, runs=0, workers=2)

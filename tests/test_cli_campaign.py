@@ -67,10 +67,15 @@ class TestCampaignFlags:
         assert out_path.exists()
         assert "Reproduction report" in captured.out
 
-    def test_workers_must_be_positive(self):
+    def test_workers_must_be_non_negative(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(
-                ["campaign", "--workers", "0"])
+                ["campaign", "--workers", "-1"])
+
+    def test_workers_zero_parses_as_auto(self):
+        args = build_parser().parse_args(
+            ["campaign", "--workers", "0"])
+        assert args.workers == 0
 
     def test_cache_dir_not_a_directory_fails_cleanly(self, tmp_path):
         blocker = tmp_path / "notadir"

@@ -6,6 +6,11 @@ import dataclasses
 import numpy as np
 import pytest
 
+from repro.core.measurement import Steps
+from repro.core.scenario import EmergencyBrakeScenario
+from repro.core.testbed import ScaleTestbed
+from repro.faults import FaultPlan, NodeOutage, evaluate, install_faults
+
 from repro.facilities import ItsStation
 from repro.geonet import CircularArea, LocalFrame
 from repro.messages import Denm, ReferencePosition, StationType
@@ -112,6 +117,58 @@ class TestLossyLink:
         sim.run_until(3.0)
         assert got.count("new") == 1
         assert got.count("repetition") >= 8
+
+
+class TestRepetitionRecoversRsuOutage:
+    """End-to-end: an injected RSU radio outage swallows the first
+    DENM; ETSI DEN repetition delivers a later copy once the radio
+    restarts, and the vehicle still stops."""
+
+    #: The radio is down over the whole first-DENM window (the chain
+    #: sends around t=2.4-3.1 s from 4 m out) and restarts at t=4 s.
+    OUTAGE = FaultPlan("rsu_radio_outage", (
+        NodeOutage(start=2.0, duration=2.0, target="rsu_radio"),))
+
+    @staticmethod
+    def run_scenario(repetition, plan=None):
+        scenario = EmergencyBrakeScenario(
+            start_distance=4.0, timeout=15.0,
+            denm_repetition_interval=0.1 if repetition else None,
+            denm_repetition_duration=3.0 if repetition else 0.0)
+        testbed = ScaleTestbed(scenario, run_id=1)
+        if plan is not None:
+            install_faults(testbed, plan)
+        return testbed, testbed.run()
+
+    def test_without_repetition_the_warning_is_lost(self):
+        testbed, measurement = self.run_scenario(
+            repetition=False, plan=self.OUTAGE)
+        verdict = evaluate(measurement)
+        assert testbed.medium.stats()["suppressed"] > 0
+        assert not verdict.denm_delivered
+        assert verdict.verdict == "NO_STOP"
+
+    def test_repetition_recovers_after_restart(self):
+        testbed, measurement = self.run_scenario(
+            repetition=True, plan=self.OUTAGE)
+        verdict = evaluate(measurement)
+        # The first copies were suppressed by the outage ...
+        assert testbed.medium.stats()["suppressed"] > 0
+        # ... but a repetition got through after the radio restarted,
+        # and the vehicle stopped (late: the warning was delayed).
+        assert verdict.denm_delivered
+        assert verdict.halted
+        received = measurement.timeline.get(Steps.OBU_RECEIVED)
+        outage_end = self.OUTAGE.faults[0].end
+        assert received.sim_time >= outage_end
+
+    def test_repetition_changes_nothing_without_faults(self):
+        testbed, measurement = self.run_scenario(repetition=True)
+        verdict = evaluate(measurement)
+        assert verdict.verdict == "SAFE_STOP"
+        # Repetitions arrive but are classified as duplicates: one
+        # stop, one step-4 record, no re-triggering.
+        assert measurement.timeline.has(Steps.HALTED)
 
 
 class TestPartialFailures:
