@@ -8,7 +8,10 @@ Subcommands:
 * ``platoon`` -- the platooning extension;
 * ``cdf`` -- a latency campaign with distribution fitting;
 * ``faults`` -- the fault-injection matrix (plans x seeds) with
-  SAFE/LATE/NO/SPURIOUS-stop verdicts.
+  SAFE/LATE/NO/SPURIOUS-stop verdicts;
+* ``bench`` -- the fixed perf grid, writing ``BENCH_<rev>.json``;
+* ``trace`` -- one traced run as canonical JSONL + step timeline
+  (``--update-golden`` refreshes the golden-trace fixtures).
 
 Examples::
 
@@ -16,11 +19,14 @@ Examples::
     repro-testbed campaign --runs 10 --secured
     repro-testbed campaign --runs 50 --workers 4 --cache-dir .runs
     repro-testbed platoon --interface 5g_leader --members 5
+    repro-testbed bench --runs 5
+    repro-testbed trace --update-golden
 
-``campaign``, ``cdf`` and ``report`` accept ``--workers N`` (shard
-runs over a process pool; bit-identical to serial) and
-``--cache-dir DIR`` (skip already-computed runs); per-run progress
-streams to stderr.
+``campaign``, ``cdf``, ``faults`` and ``report`` accept
+``--workers N`` (shard runs over a process pool; bit-identical to
+serial; ``0`` = auto, one worker per CPU core) and ``--cache-dir
+DIR`` (skip already-computed runs); per-run progress streams to
+stderr.
 """
 
 from __future__ import annotations
@@ -75,7 +81,7 @@ def _positive_int(text: str) -> int:
 
 
 def _workers_count(text: str) -> int:
-    """``--workers`` value: >= 1, or 0 meaning auto (all cores)."""
+    """``--workers`` value: >= 1, or 0 = auto (one per CPU core)."""
     try:
         value = int(text)
     except ValueError:
@@ -83,7 +89,8 @@ def _workers_count(text: str) -> int:
             f"must be an integer >= 0, got {text!r}") from None
     if value < 0:
         raise argparse.ArgumentTypeError(
-            f"must be >= 0 (0 = one per core), got {value}")
+            f"must be >= 0 (0 = auto, one worker per CPU core), "
+            f"got {value}")
     return value
 
 
@@ -105,7 +112,8 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--workers", type=_workers_count, default=1,
                         metavar="N",
                         help="run the campaign across N worker "
-                             "processes; 0 = one per CPU core "
+                             "processes; 0 = auto, one worker per "
+                             "CPU core "
                              "(results are bit-identical for any N)")
     parser.add_argument("--cache-dir", default=None, metavar="DIR",
                         help="cache completed runs on disk so "
@@ -291,16 +299,101 @@ def cmd_report(args: argparse.Namespace) -> int:
 
     _check_cache_dir(args.cache_dir)
     config = ReportConfig(base_seed=args.seed, workers=args.workers,
-                          cache_dir=args.cache_dir)
+                          cache_dir=args.cache_dir,
+                          observe=args.observe)
     if args.quick:
         config = ReportConfig(
             table2_runs=3, table3_runs=3,
             include_blind_corner=False, include_platoon=False,
             base_seed=args.seed, workers=args.workers,
-            cache_dir=args.cache_dir)
+            cache_dir=args.cache_dir, observe=args.observe)
     markdown = write_report(args.output, config)
     print(markdown)
     print(f"(written to {args.output})")
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.obs.bench import (
+        default_output_path,
+        run_bench,
+        write_bench,
+    )
+
+    payload = run_bench(runs=args.runs, base_seed=args.seed,
+                        progress=_print_progress)
+    path = args.output or default_output_path(payload["revision"])
+    write_bench(payload, path)
+    wall = payload["wall"]
+    print(f"bench: {payload['grid']['runs']} runs in "
+          f"{wall['total_s']:.2f} s "
+          f"({wall['runs_per_sec']:.2f} runs/s, "
+          f"{payload['kernel']['events_per_sec']:,.0f} kernel "
+          f"events/s)")
+    for name, stats in sorted(payload["spans"].items()):
+        print(f"  span {name:<28} n={stats['count']:<6} "
+              f"mean={stats['mean_s'] * 1000:8.3f} ms")
+    for name, stats in sorted(payload["wall_sites"].items()):
+        print(f"  wall {name:<28} n={stats['count']:<6} "
+              f"mean={stats['mean_s'] * 1000:8.3f} ms")
+    print(f"(written to {path})")
+    return 0
+
+
+#: Where ``trace --update-golden`` writes, relative to the repo root.
+GOLDEN_DIR = "tests/golden"
+
+
+def build_trace_artifacts(seed: int = 1) -> "tuple":
+    """One traced run of *seed*: (trace JSONL text, timeline JSON text).
+
+    Runs the default scenario with the tracer enabled and every
+    device's measurement hooks teed into it (per-source categories),
+    then renders both artefacts canonically -- sorted keys, exact
+    float reprs -- so the same seed always produces the same bytes.
+    The golden-trace regression test pins these bytes;
+    ``repro-testbed trace --update-golden`` regenerates the fixtures.
+    """
+    import json
+
+    testbed = ScaleTestbed(EmergencyBrakeScenario(seed=seed), trace=True)
+    tracer = testbed.tracer
+    assert tracer is not None
+
+    def tee(category):
+        def hook(event, record):
+            tracer.log(category, event, **record)
+        return hook
+
+    testbed.edge.on_event(tee("edge"))
+    testbed.rsu.on_event(tee("rsu"))
+    testbed.obu.on_event(tee("obu"))
+    testbed.vehicle.on_event(tee("vehicle"))
+    testbed.handler.on_event(tee("handler"))
+    testbed.run()
+    trace_text = tracer.to_canonical_jsonl_text()
+    timeline_text = json.dumps(testbed.timeline.to_dict(),
+                               sort_keys=True, indent=2,
+                               default=str) + "\n"
+    return trace_text, timeline_text
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    import os
+
+    trace_text, timeline_text = build_trace_artifacts(args.seed)
+    out_dir = GOLDEN_DIR if args.update_golden else args.out
+    os.makedirs(out_dir, exist_ok=True)
+    trace_path = os.path.join(out_dir, f"trace_seed{args.seed}.jsonl")
+    timeline_path = os.path.join(out_dir,
+                                 f"timeline_seed{args.seed}.json")
+    with open(trace_path, "w", encoding="utf-8") as handle:
+        handle.write(trace_text)
+    with open(timeline_path, "w", encoding="utf-8") as handle:
+        handle.write(timeline_text)
+    print(f"wrote {trace_path} "
+          f"({len(trace_text.splitlines())} records)")
+    print(f"wrote {timeline_path}")
     return 0
 
 
@@ -369,8 +462,34 @@ def build_parser() -> argparse.ArgumentParser:
     report_parser.add_argument("--seed", type=int, default=1)
     report_parser.add_argument("--quick", action="store_true",
                                help="fewer runs, skip extensions")
+    report_parser.add_argument("--observe", action="store_true",
+                               help="instrument the Table II campaign "
+                                    "and append an observability "
+                                    "section (forces serial runs)")
     _add_engine_arguments(report_parser)
     report_parser.set_defaults(func=cmd_report)
+
+    bench_parser = sub.add_parser(
+        "bench", help="perf benchmark grid -> BENCH_<rev>.json")
+    bench_parser.add_argument("--runs", type=_positive_int, default=5,
+                              help="grid size (consecutive seeds)")
+    bench_parser.add_argument("--seed", type=int, default=1,
+                              help="base random seed of the grid")
+    bench_parser.add_argument("--output", default=None, metavar="FILE",
+                              help="artefact path (default: "
+                                   "BENCH_<rev>.json)")
+    bench_parser.set_defaults(func=cmd_bench)
+
+    trace_parser = sub.add_parser(
+        "trace", help="one traced run -> canonical JSONL + timeline")
+    trace_parser.add_argument("--seed", type=int, default=1)
+    trace_parser.add_argument("--out", default=".", metavar="DIR",
+                              help="output directory")
+    trace_parser.add_argument("--update-golden", action="store_true",
+                              help=f"write the fixtures under "
+                                   f"{GOLDEN_DIR} (golden-trace "
+                                   f"regression test)")
+    trace_parser.set_defaults(func=cmd_trace)
 
     return parser
 

@@ -33,6 +33,7 @@ import hashlib
 import json
 import os
 import tempfile
+from time import perf_counter
 from typing import Callable, List, Optional, TYPE_CHECKING
 
 import repro
@@ -42,6 +43,7 @@ from repro.core.scenario import EmergencyBrakeScenario
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.testbed import CampaignResult
     from repro.faults.plan import FaultPlan
+    from repro.obs import ObsAggregate, ObsContext
 
 #: Bump whenever the cache serialisation or run semantics change:
 #: entries written under another version are treated as misses.
@@ -157,6 +159,7 @@ ProgressCallback = Callable[[RunOutcome, int, int], None]
 def _execute_run(scenario: EmergencyBrakeScenario,
                  run_id: int,
                  fault_plan: Optional["FaultPlan"] = None,
+                 obs_ctx: Optional["ObsContext"] = None,
                  ) -> RunMeasurement:
     """Worker entry point: one fresh testbed, one run.
 
@@ -166,7 +169,7 @@ def _execute_run(scenario: EmergencyBrakeScenario,
     """
     from repro.core.testbed import ScaleTestbed
 
-    testbed = ScaleTestbed(scenario, run_id=run_id)
+    testbed = ScaleTestbed(scenario, run_id=run_id, obs=obs_ctx)
     if fault_plan is not None and not fault_plan.is_empty:
         from repro.faults.injector import install_faults
 
@@ -182,6 +185,7 @@ def run_campaign_parallel(
     cache_dir: Optional[str] = None,
     progress: Optional[ProgressCallback] = None,
     fault_plan: Optional["FaultPlan"] = None,
+    obs: Optional["ObsAggregate"] = None,
 ) -> "CampaignResult":
     """Run *runs* repetitions of *scenario*, sharded over *workers*.
 
@@ -197,6 +201,15 @@ def run_campaign_parallel(
     *progress*) but are sorted by ``run_id`` before aggregation, so
     the returned :class:`CampaignResult` is independent of scheduling
     order.
+
+    With an *obs* aggregate, every simulated run is instrumented with
+    a fresh :class:`~repro.obs.ObsContext` that is merged into the
+    aggregate (cache hits count via ``add_cached``).  Because the
+    contexts live in this process, instrumented misses execute
+    serially in-process regardless of *workers* -- observability is a
+    measurement mode, not a throughput mode.  Instrumentation never
+    touches RNG draws or event scheduling, so measurements stay
+    bit-identical to an unobserved campaign.
     """
     from repro.core.testbed import CampaignResult
 
@@ -239,12 +252,14 @@ def run_campaign_parallel(
                 # shared across differently-offset campaigns stays
                 # consistent with this one's numbering.
                 hit.run_id = run_id
+                if obs is not None:
+                    obs.add_cached()
                 finish(run_id, run_scenario.seed, True, hit)
                 continue
         pending.append((run_id, run_scenario, key))
 
     # --- Simulate the misses, in-process or across a pool.
-    if workers > 1 and len(pending) > 1:
+    if workers > 1 and len(pending) > 1 and obs is None:
         pool_size = min(workers, len(pending))
         with concurrent.futures.ProcessPoolExecutor(
                 max_workers=pool_size) as pool:
@@ -262,10 +277,19 @@ def run_campaign_parallel(
                 finish(run_id, run_scenario.seed, False, measurement)
     else:
         for run_id, run_scenario, key in pending:
-            measurement = _execute_run(run_scenario, run_id, fault_plan)
+            obs_ctx = None
+            if obs is not None:
+                from repro.obs import ObsContext
+
+                obs_ctx = ObsContext()
+            started = perf_counter()
+            measurement = _execute_run(run_scenario, run_id, fault_plan,
+                                       obs_ctx=obs_ctx)
+            if obs is not None:
+                obs.add_run(obs_ctx, perf_counter() - started)
             if cache is not None:
                 cache.put(key, measurement)
             finish(run_id, run_scenario.seed, False, measurement)
 
     ordered = [measurements[run_id] for run_id in sorted(measurements)]
-    return CampaignResult(scenario=scenario, runs=ordered)
+    return CampaignResult(scenario=scenario, runs=ordered, obs=obs)

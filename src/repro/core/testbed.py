@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
-from typing import Any, Dict, List, Optional
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
 
 import numpy as np
 
@@ -33,6 +33,9 @@ from repro.vehicle.robot import RoboticVehicle
 from repro.vehicle.dynamics import VehicleState
 from repro.vehicle.track import StraightTrack
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs import ObsAggregate, ObsContext
+
 #: Station identifiers used by the testbed.
 OBU_STATION_ID = 101
 RSU_STATION_ID = 900
@@ -45,11 +48,14 @@ class ScaleTestbed:
     WATCH_PERIOD = 1e-3
 
     def __init__(self, scenario: Optional[EmergencyBrakeScenario] = None,
-                 run_id: int = 0, trace: bool = False):
+                 run_id: int = 0, trace: bool = False,
+                 obs: Optional["ObsContext"] = None):
         self.scenario = scenario or EmergencyBrakeScenario()
         self.run_id = run_id
         sc = self.scenario
         self.sim = Simulator()
+        if obs is not None:
+            obs.bind(self.sim)
         self.tracer = None
         if trace:
             from repro.sim.trace import Tracer
@@ -333,15 +339,46 @@ class ScaleTestbed:
                 sim_time=record["sim_time"],
                 clock_time=record["clock_time"],
                 x=record.get("x"), y=record.get("y"))
+            obs = self.sim.obs
+            if obs is not None:
+                actuators = self.timeline.get(Steps.ACTUATORS)
+                if actuators is not None:
+                    obs.record_span("vehicle.brake", actuators.sim_time,
+                                    record["sim_time"], device="vehicle")
             self.sim.stop()
 
     # ------------------------------------------------------------------
     # Running
     # ------------------------------------------------------------------
 
+    #: End-to-end spans derived from the step timeline after a run,
+    #: named after the paper's Table II rows (see EXPERIMENTS.md).
+    _E2E_SPANS = (
+        ("e2e.detection_to_send", Steps.DETECTION, Steps.RSU_SENT),
+        ("e2e.send_to_receive", Steps.RSU_SENT, Steps.OBU_RECEIVED),
+        ("e2e.receive_to_actuation", Steps.OBU_RECEIVED, Steps.ACTUATORS),
+        ("e2e.total", Steps.DETECTION, Steps.ACTUATORS),
+        ("e2e.action_to_halt", Steps.ACTION_POINT, Steps.HALTED),
+    )
+
+    def _record_e2e_spans(self, obs: "ObsContext") -> None:
+        for name, start_step, end_step in self._E2E_SPANS:
+            start = self.timeline.get(start_step)
+            end = self.timeline.get(end_step)
+            if start is None or end is None:
+                continue
+            obs.record_span(name, start.sim_time, end.sim_time,
+                            device="run")
+
     def run(self) -> RunMeasurement:
         """Execute the run and return its measurement."""
-        self.sim.run_until(self.scenario.timeout)
+        obs = self.sim.obs
+        if obs is None:
+            self.sim.run_until(self.scenario.timeout)
+        else:
+            with obs.profile("run.total"):
+                self.sim.run_until(self.scenario.timeout)
+            self._record_e2e_spans(obs)
         measurement = RunMeasurement(run_id=self.run_id,
                                      timeline=self.timeline)
         action = self.timeline.get(Steps.ACTION_POINT)
@@ -373,6 +410,9 @@ class CampaignResult:
 
     scenario: EmergencyBrakeScenario
     runs: List[RunMeasurement]
+    #: Aggregated observability data when the campaign ran with an
+    #: :class:`~repro.obs.ObsAggregate`; None otherwise.
+    obs: Optional["ObsAggregate"] = None
 
     def __post_init__(self) -> None:
         # Aggregation must not depend on completion order: parallel

@@ -166,6 +166,9 @@ class DccGatekeeper:
             return False
         queue.append(frame)
         self.frames_gated += 1
+        obs = self.sim.obs
+        if obs is not None:
+            obs.count("dcc.frames_gated", device=self.nic.name)
         self._arm_gate_timer()
         return True
 
@@ -182,6 +185,11 @@ class DccGatekeeper:
     def _transmit(self, frame: Frame) -> None:
         self._last_transmission = self.sim.now
         self.frames_passed += 1
+        obs = self.sim.obs
+        if obs is not None:
+            obs.count("dcc.frames_passed", device=self.nic.name)
+            obs.set_gauge("dcc.state", int(self.state),
+                          device=self.nic.name)
         self.nic.send(frame)
         if any(self._queues.values()):
             self._arm_gate_timer()

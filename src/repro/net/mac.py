@@ -210,6 +210,12 @@ class EdcaMac:
         self._cancel_timers()
         if frame.enqueued_at is not None:
             self.total_access_delay += self.sim.now - frame.enqueued_at
+            obs = self.sim.obs
+            if obs is not None:
+                obs.record_span("mac.access", frame.enqueued_at,
+                                self.sim.now, device=self.nic.name)
+                obs.observe("mac.access_delay_ms",
+                            (self.sim.now - frame.enqueued_at) * 1000.0)
         duration = self.nic.start_transmission(frame)
         self.frames_transmitted += 1
         self.sim.schedule(duration, self._transmission_done)

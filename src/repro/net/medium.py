@@ -187,6 +187,12 @@ class WirelessMedium:
             self._add_interference(tx, other)
         self._active.append(tx)
         self.frames_sent += 1
+        obs = self.sim.obs
+        if obs is not None:
+            obs.count("phy.frames_sent", device=sender.name)
+            obs.record_span("phy.tx", now, now + duration,
+                            device=sender.name)
+            obs.observe("phy.airtime_ms", duration * 1000.0)
         self._update_busy_states()
         self.sim.schedule(duration, lambda: self._complete(tx))
         return duration
@@ -249,6 +255,9 @@ class WirelessMedium:
                 nic.on_frame_lost(tx.frame, reason="noise")
             return
         self.frames_delivered += 1
+        obs = self.sim.obs
+        if obs is not None:
+            obs.count("phy.frames_delivered", device=nic.name)
         info = ReceptionInfo(
             rx_power_dbm=rx_power_dbm,
             sinr_db=mw_to_dbm(sinr_linear),

@@ -101,5 +101,8 @@ class NetworkInterface:
     def on_frame_lost(self, frame: Frame, reason: str) -> None:
         """Called by the medium when a frame could not be decoded."""
         self.frames_lost += 1
+        obs = self.sim.obs
+        if obs is not None:
+            obs.count("phy.frames_lost", device=self.name, reason=reason)
         for callback in self._loss_callbacks:
             callback(frame, reason)

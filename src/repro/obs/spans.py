@@ -1,0 +1,194 @@
+"""Sim-time spans: named intervals on the simulation clock.
+
+A span brackets one stage of the chain of action -- a frame's airtime
+(``phy.tx``), an HTTP request's queue+service time (``http.request``),
+the whole detection-to-actuation path (``e2e.total``).  Spans are
+recorded per device as structured events and aggregate into exact
+per-stage statistics, the per-stage latency decomposition that
+city-scale ITS deployments treat as table stakes.
+
+Two recording styles:
+
+* **live** -- ``handle = recorder.start("phy.tx", device="rsu")`` at
+  the start event, ``handle.end()`` at the end event (possibly many
+  simulator callbacks later); ``with recorder.start(...):`` works for
+  spans that close inside one callback;
+* **after the fact** -- ``recorder.record(name, start, end, device)``
+  when both instants are already known (e.g. derived from the step
+  timeline after a run).
+
+Everything here is pure bookkeeping on ``sim.now``: no RNG, no event
+scheduling, so recording spans can never perturb a simulation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Dict, List, Optional
+
+
+@dataclasses.dataclass(frozen=True)
+class SpanEvent:
+    """One completed span."""
+
+    name: str
+    device: str
+    start: float
+    end: float
+    #: How many spans were already open on the same device when this
+    #: one started (best-effort nesting depth; concurrent non-LIFO
+    #: spans are legal).
+    depth: int
+
+    @property
+    def duration(self) -> float:
+        """Span length in simulated seconds."""
+        return self.end - self.start
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "device": self.device,
+            "start": self.start,
+            "end": self.end,
+            "depth": self.depth,
+        }
+
+
+@dataclasses.dataclass
+class SpanStats:
+    """Aggregated statistics for one span name."""
+
+    count: int = 0
+    total: float = 0.0
+    minimum: float = float("inf")
+    maximum: float = float("-inf")
+
+    @property
+    def mean(self) -> float:
+        """Mean duration, or NaN when empty."""
+        return self.total / self.count if self.count else float("nan")
+
+    def add(self, duration: float) -> None:
+        self.count += 1
+        self.total += duration
+        self.minimum = min(self.minimum, duration)
+        self.maximum = max(self.maximum, duration)
+
+    def merge(self, other: "SpanStats") -> None:
+        self.count += other.count
+        self.total += other.total
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "count": self.count,
+            "total_s": self.total,
+            "min_s": self.minimum if self.count else None,
+            "max_s": self.maximum if self.count else None,
+            "mean_s": self.mean if self.count else None,
+        }
+
+
+class Span:
+    """A live span handle; close it with :meth:`end` (or ``with``)."""
+
+    __slots__ = ("recorder", "name", "device", "start", "depth", "_ended")
+
+    def __init__(self, recorder: "SpanRecorder", name: str,
+                 device: str, start: float, depth: int):
+        self.recorder = recorder
+        self.name = name
+        self.device = device
+        self.start = start
+        self.depth = depth
+        self._ended = False
+
+    def end(self) -> Optional[SpanEvent]:
+        """Close the span at the current simulated time (idempotent)."""
+        if self._ended:
+            return None
+        self._ended = True
+        return self.recorder._finish(self)
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.end()
+
+
+class SpanRecorder:
+    """Collects :class:`SpanEvent` records on one simulation clock."""
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None):
+        self._clock = clock or (lambda: 0.0)
+        self._events: List[SpanEvent] = []
+        self._open: Dict[str, int] = {}
+
+    def bind(self, clock: Callable[[], float]) -> None:
+        """Point the recorder at a simulation clock (``lambda: sim.now``)."""
+        self._clock = clock
+
+    def start(self, name: str, device: str = "") -> Span:
+        """Open a span at the current simulated time."""
+        depth = self._open.get(device, 0)
+        self._open[device] = depth + 1
+        return Span(self, name, device, self._clock(), depth)
+
+    def _finish(self, span: Span) -> SpanEvent:
+        open_count = self._open.get(span.device, 0)
+        if open_count > 0:
+            self._open[span.device] = open_count - 1
+        event = SpanEvent(name=span.name, device=span.device,
+                          start=span.start, end=self._clock(),
+                          depth=span.depth)
+        self._events.append(event)
+        return event
+
+    def record(self, name: str, start: float, end: float,
+               device: str = "") -> SpanEvent:
+        """Record a span whose endpoints are already known."""
+        event = SpanEvent(name=name, device=device, start=start,
+                          end=end, depth=0)
+        self._events.append(event)
+        return event
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+
+    def events(self, name: Optional[str] = None,
+               device: Optional[str] = None) -> List[SpanEvent]:
+        """Completed spans matching the filters, in completion order."""
+        out = []
+        for event in self._events:
+            if name is not None and event.name != name:
+                continue
+            if device is not None and event.device != device:
+                continue
+            out.append(event)
+        return out
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def stats(self) -> Dict[str, SpanStats]:
+        """Per-name aggregated durations, sorted by name."""
+        out: Dict[str, SpanStats] = {}
+        for event in self._events:
+            out.setdefault(event.name, SpanStats()).add(event.duration)
+        return dict(sorted(out.items()))
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        """Every event as a plain dict (structured-event export)."""
+        return [event.to_dict() for event in self._events]
+
+
+def merge_span_stats(into: Dict[str, SpanStats],
+                     other: Dict[str, SpanStats]) -> None:
+    """Fold *other*'s per-name stats into *into* (in place)."""
+    for name, stats in other.items():
+        mine = into.setdefault(name, SpanStats())
+        mine.merge(stats)

@@ -73,8 +73,8 @@ class HttpServer:
         self.config = config or HttpConfig()
         self._routes: Dict[str, Handler] = {}
         self._queue: Deque[Tuple[str, Dict[str, Any],
-                                 Callable[[int, Dict[str, Any]], None]]] = \
-            deque()
+                                 Callable[[int, Dict[str, Any]], None],
+                                 float]] = deque()
         self._busy = False
         self.requests_served = 0
         #: Fault-injection seam: an offline server (crashed process /
@@ -92,8 +92,11 @@ class HttpServer:
         """Accept a request (already past the network leg)."""
         if not self.online:
             self.requests_dropped += 1
+            obs = self.sim.obs
+            if obs is not None:
+                obs.count("http.requests_dropped", device=self.name)
             return
-        self._queue.append((path, body, respond))
+        self._queue.append((path, body, respond, self.sim.now))
         if not self._busy:
             self._serve_next()
 
@@ -102,14 +105,16 @@ class HttpServer:
             self._busy = False
             return
         self._busy = True
-        path, body, respond = self._queue.popleft()
+        path, body, respond, accepted_at = self._queue.popleft()
         service = max(0.0, float(self.rng.normal(
             self.config.service_mean, self.config.service_std)))
         self.sim.schedule(service,
-                          lambda: self._finish(path, body, respond))
+                          lambda: self._finish(path, body, respond,
+                                               accepted_at))
 
     def _finish(self, path: str, body: Dict[str, Any],
-                respond: Callable[[int, Dict[str, Any]], None]) -> None:
+                respond: Callable[[int, Dict[str, Any]], None],
+                accepted_at: float) -> None:
         handler = self._routes.get(path)
         if handler is None:
             status, response = 404, {"error": f"no route {path}"}
@@ -119,6 +124,14 @@ class HttpServer:
             except Exception as err:  # noqa: BLE001 - server error path
                 status, response = 500, {"error": str(err)}
         self.requests_served += 1
+        obs = self.sim.obs
+        if obs is not None:
+            obs.count("http.requests_served", device=self.name,
+                      status=status)
+            obs.record_span("http.request", accepted_at, self.sim.now,
+                            device=self.name)
+            obs.observe("http.queue_service_ms",
+                        (self.sim.now - accepted_at) * 1000.0)
         respond(status, response)
         self._serve_next()
 

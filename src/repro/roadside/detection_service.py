@@ -59,11 +59,17 @@ class ObjectDetectionService:
     def on_frame(self, frame: CameraFrame) -> None:
         """Topic/camera callback."""
         self.frames_received += 1
+        obs = self.sim.obs
         if self._busy:
             self.frames_dropped += 1
+            if obs is not None:
+                obs.count("pipeline.frames_dropped", device="rsu")
             return
         self._busy = True
         inference = self.yolo.sample_inference_time()
+        if obs is not None:
+            obs.count("pipeline.frames_accepted", device="rsu")
+            obs.observe("pipeline.inference_ms", inference * 1000.0)
         detections = self.yolo.detect(frame.objects)
         positions = {obj.name: obj.position for obj in frame.objects}
         self.sim.schedule(
@@ -82,6 +88,11 @@ class ObjectDetectionService:
             completed_at=self.sim.now,
             motion_vectors=motion,
         )
+        obs = self.sim.obs
+        if obs is not None:
+            obs.count("pipeline.frames_processed", device="rsu")
+            obs.record_span("pipeline.detect", frame.captured_at,
+                            self.sim.now, device="rsu")
         self.publish(event)
 
     def _update_motion(self, captured_at: float,

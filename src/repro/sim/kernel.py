@@ -13,6 +13,7 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
+from time import perf_counter
 from typing import Any, Callable, List, Optional, Tuple
 
 
@@ -116,6 +117,11 @@ class Simulator:
         self._running = False
         self._pending_failures: List[BaseException] = []
         self._stopped = False
+        #: Observability seam (:class:`repro.obs.ObsContext`).  None by
+        #: default; every instrumented subsystem checks this before
+        #: recording, so an unobserved run pays one attribute read per
+        #: site and stays bit-identical to pre-observability builds.
+        self.obs: Optional[Any] = None
 
     @property
     def now(self) -> float:
@@ -156,7 +162,13 @@ class Simulator:
             return False
         when, _seq, callback = heapq.heappop(self._queue)
         self._now = when
-        callback()
+        obs = self.obs
+        if obs is None:
+            callback()
+        else:
+            begin = perf_counter()
+            callback()
+            obs.kernel_step(perf_counter() - begin)
         if self._pending_failures:
             failure = self._pending_failures.pop(0)
             self._pending_failures.clear()

@@ -129,3 +129,18 @@ class Tracer:
                                         default=str) + "\n")
                 count += 1
         return count
+
+    def to_canonical_jsonl_text(self) -> str:
+        """All records as canonical JSON lines.
+
+        Sorted keys, compact separators and Python's exact float
+        reprs, so the same deterministic run always yields the same
+        bytes -- the format of the golden-trace fixtures under
+        ``tests/golden/``.
+        """
+        lines = [
+            json.dumps(record.as_flat_dict(), sort_keys=True,
+                       separators=(",", ":"), default=str)
+            for record in self._records
+        ]
+        return "\n".join(lines) + ("\n" if lines else "")

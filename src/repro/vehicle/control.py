@@ -69,11 +69,17 @@ class ActuationPath:
         """
         if self.blocked:
             self.commands_dropped += 1
+            obs = self.sim.obs
+            if obs is not None:
+                obs.count("vehicle.commands_dropped")
             return 0.0
         latency = self._latency()
 
         def deliver() -> None:
             self.commands_delivered += 1
+            obs = self.sim.obs
+            if obs is not None:
+                obs.count("vehicle.commands_delivered")
             command(self.dynamics)
 
         self.sim.schedule(latency, deliver)
@@ -127,6 +133,9 @@ class ControlModule:
             return
         self.stopped = True
         self.stop_commanded_at = self.sim.now
+        obs = self.sim.obs
+        if obs is not None:
+            obs.count("vehicle.emergency_stops", reason=reason)
         self._emit("actuators_commanded", reason=reason)
         self.actuation.apply(lambda dyn: dyn.cut_power(brake=True))
 

@@ -90,15 +90,25 @@ class MessageHandler:
         consecutive_timeouts = 0
         while self._running:
             self.polls += 1
+            poll_started = self.sim.now
             response: HttpResponse = yield self.client.post(
                 self.obu_server, "/request_denm",
                 timeout=self.REQUEST_TIMEOUT)
+            obs = self.sim.obs
+            if obs is not None:
+                obs.count("obu.polls", device="message-handler")
+                obs.record_span("obu.poll", poll_started, self.sim.now,
+                                device="message-handler")
+                obs.observe("obu.poll_rtt_ms",
+                            (self.sim.now - poll_started) * 1000.0)
             if response.status == self.client.TIMEOUT_STATUS:
                 # The OBU (or the hop to it) is unresponsive: retry
                 # with capped exponential backoff rather than waiting
                 # out the regular poll tick -- a recovered OBU is
                 # re-polled quickly, a dead one is not hammered.
                 self.timeouts += 1
+                if obs is not None:
+                    obs.count("obu.poll_timeouts", device="message-handler")
                 consecutive_timeouts += 1
                 backoff = min(
                     self.RETRY_BACKOFF_CAP,
@@ -116,6 +126,9 @@ class MessageHandler:
 
     def _handle_denm(self, denm_json: Dict[str, Any]) -> None:
         self.denms_handled += 1
+        obs = self.sim.obs
+        if obs is not None:
+            obs.count("obu.denms_handled", device="message-handler")
         self.last_denm = denm_json
         self._emit("denm_handled", denm=denm_json)
         if denm_json.get("termination") is not None:

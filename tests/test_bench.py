@@ -1,0 +1,107 @@
+"""Tests for the bench harness (repro.obs.bench) and its CLI.
+
+The bench artefact is the repo's perf trajectory: one JSON file per
+revision, schema-validated at the producer.  These tests pin the
+payload shape, the validator's failure modes and the ``repro bench``
+subcommand end to end (on a tiny 1-2 run grid so they stay fast).
+"""
+
+import copy
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.bench import (
+    BENCH_SCHEMA,
+    default_output_path,
+    run_bench,
+    validate_bench,
+    write_bench,
+)
+
+
+@pytest.fixture(scope="module")
+def payload():
+    return run_bench(runs=2, base_seed=1)
+
+
+class TestRunBench:
+    def test_payload_is_schema_valid(self, payload):
+        validate_bench(payload)  # must not raise
+        jsonschema = pytest.importorskip("jsonschema")
+        jsonschema.validate(payload, BENCH_SCHEMA)
+
+    def test_grid_and_per_run_lengths(self, payload):
+        assert payload["grid"]["runs"] == 2
+        assert len(payload["wall"]["per_run_s"]) == 2
+        assert payload["grid"]["scenario"] == "emergency_brake_default"
+
+    def test_measures_real_work(self, payload):
+        assert payload["kernel"]["events"] > 0
+        assert payload["kernel"]["events_per_sec"] > 0
+        assert payload["wall"]["total_s"] > 0
+        assert "e2e.total" in payload["spans"]
+        assert payload["spans"]["e2e.total"]["count"] == 2
+        assert "kernel.step" in payload["wall_sites"]
+
+    def test_rejects_zero_runs(self):
+        with pytest.raises(ValueError, match="at least one run"):
+            run_bench(runs=0)
+
+
+class TestWriteBench:
+    def test_round_trips_through_json(self, payload, tmp_path):
+        path = str(tmp_path / "BENCH_test.json")
+        assert write_bench(payload, path) == path
+        with open(path, encoding="utf-8") as handle:
+            text = handle.read()
+        assert text.endswith("\n")
+        assert json.loads(text) == payload
+
+    def test_default_output_path_names_revision(self):
+        assert default_output_path("abc1234") == "BENCH_abc1234.json"
+
+
+class TestValidateBench:
+    def test_missing_key_rejected(self, payload):
+        broken = copy.deepcopy(payload)
+        del broken["kernel"]
+        with pytest.raises(ValueError, match="kernel"):
+            validate_bench(broken)
+
+    def test_wrong_schema_version_rejected(self, payload):
+        broken = copy.deepcopy(payload)
+        broken["schema_version"] = 2
+        with pytest.raises(ValueError, match="schema_version"):
+            validate_bench(broken)
+
+    def test_per_run_length_mismatch_rejected(self, payload):
+        broken = copy.deepcopy(payload)
+        broken["wall"]["per_run_s"] = \
+            broken["wall"]["per_run_s"] + [0.1]
+        with pytest.raises(ValueError, match="one entry per run"):
+            validate_bench(broken)
+
+    def test_malformed_span_entry_rejected(self, payload):
+        broken = copy.deepcopy(payload)
+        broken["spans"]["e2e.total"] = {"count": 1}
+        with pytest.raises(ValueError, match="spans"):
+            validate_bench(broken)
+
+    def test_nan_wall_total_rejected(self, payload):
+        broken = copy.deepcopy(payload)
+        broken["wall"]["total_s"] = float("nan")
+        with pytest.raises(ValueError, match="total_s"):
+            validate_bench(broken)
+
+
+class TestBenchCli:
+    def test_writes_artifact(self, tmp_path, capsys):
+        out = str(tmp_path / "BENCH_cli.json")
+        assert main(["bench", "--runs", "1", "--output", out]) == 0
+        with open(out, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        validate_bench(payload)
+        assert payload["grid"]["runs"] == 1
+        assert "runs/s" in capsys.readouterr().out

@@ -1,0 +1,82 @@
+"""Golden-trace regression test.
+
+``tests/golden/`` holds the canonical seed-1 run's trace JSONL and
+step timeline, frozen byte for byte.  Any change to event ordering,
+RNG consumption, timestamping or trace serialisation shows up here as
+a diff against the fixture -- the widest determinism oracle the repo
+has.  If the change is *intentional*, regenerate the fixtures::
+
+    PYTHONPATH=src python -m repro.cli trace --update-golden
+
+and commit the updated files together with the change that moved
+them.
+"""
+
+import json
+import os
+
+from repro.cli import build_trace_artifacts, main
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
+GOLDEN_SEED = 1
+
+REGENERATE = (
+    "\n\nThe simulation no longer reproduces the golden trace byte "
+    "for byte.\nIf this change in behaviour is intentional, "
+    "regenerate the fixtures with\n\n"
+    "    PYTHONPATH=src python -m repro.cli trace --update-golden\n\n"
+    "and commit tests/golden/ alongside your change.  If it is NOT "
+    "intentional,\nyou broke determinism -- find the RNG draw or "
+    "event reordering you introduced."
+)
+
+
+def _read(name):
+    with open(os.path.join(GOLDEN_DIR, name), encoding="utf-8") as fh:
+        return fh.read()
+
+
+def test_trace_matches_golden_bytes():
+    trace_text, _ = build_trace_artifacts(GOLDEN_SEED)
+    golden = _read(f"trace_seed{GOLDEN_SEED}.jsonl")
+    assert trace_text == golden, REGENERATE
+
+
+def test_timeline_matches_golden_bytes():
+    _, timeline_text = build_trace_artifacts(GOLDEN_SEED)
+    golden = _read(f"timeline_seed{GOLDEN_SEED}.json")
+    assert timeline_text == golden, REGENERATE
+
+
+def test_golden_trace_is_valid_canonical_jsonl():
+    lines = _read(f"trace_seed{GOLDEN_SEED}.jsonl").splitlines()
+    assert lines, "golden trace fixture is empty"
+    previous_time = float("-inf")
+    for line in lines:
+        record = json.loads(line)
+        # Canonical form: sorted keys, compact separators.
+        assert line == json.dumps(record, sort_keys=True,
+                                  separators=(",", ":"), default=str)
+        assert record["time"] >= previous_time
+        previous_time = record["time"]
+    categories = {json.loads(line)["category"] for line in lines}
+    # The step chain plus every device's measurement hooks.
+    assert {"steps", "edge", "rsu", "obu", "vehicle",
+            "handler"} <= categories
+
+
+def test_golden_timeline_covers_all_six_steps():
+    timeline = json.loads(_read(f"timeline_seed{GOLDEN_SEED}.json"))
+    from repro.core import Steps
+
+    steps = [record["step"] for record in timeline["records"]]
+    for step in Steps.ORDER:
+        assert step in steps, f"golden timeline missing {step}"
+
+
+def test_trace_cli_writes_artifacts(tmp_path, capsys):
+    out = str(tmp_path / "artifacts")
+    assert main(["trace", "--seed", "2", "--out", out]) == 0
+    assert os.path.exists(os.path.join(out, "trace_seed2.jsonl"))
+    assert os.path.exists(os.path.join(out, "timeline_seed2.json"))
+    assert "wrote" in capsys.readouterr().out

@@ -1,0 +1,107 @@
+"""Property tests for the histogram invariants (repro.obs.metrics).
+
+The campaign aggregate folds per-run registries in whatever order the
+engine streams them back; the fold is only order-independent if the
+histogram merge is exactly associative and commutative.  These
+properties, plus count/sum conservation and quantile monotonicity,
+are the contract pinned here with hypothesis.
+"""
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import Histogram, MetricsRegistry
+
+#: Non-negative finite observations (durations, sizes).
+observations = st.lists(
+    st.floats(min_value=0.0, max_value=1e9,
+              allow_nan=False, allow_infinity=False),
+    max_size=50)
+
+#: Strictly increasing positive bucket bounds.
+bucket_bounds = st.lists(
+    st.floats(min_value=1e-6, max_value=1e6,
+              allow_nan=False, allow_infinity=False),
+    min_size=1, max_size=8, unique=True,
+).map(lambda bounds: tuple(sorted(bounds)))
+
+
+def _filled(values):
+    histogram = Histogram()
+    for value in values:
+        histogram.observe(value)
+    return histogram
+
+
+def _state(histogram):
+    """The complete observable state, bit for bit."""
+    return (histogram.bounds, tuple(histogram.bucket_counts),
+            histogram.count, histogram._sum)
+
+
+@settings(deadline=None, max_examples=60)
+@given(observations, observations)
+def test_merge_commutative(values_a, values_b):
+    ab = _filled(values_a)
+    ab.merge(_filled(values_b))
+    ba = _filled(values_b)
+    ba.merge(_filled(values_a))
+    assert _state(ab) == _state(ba)
+
+
+@settings(deadline=None, max_examples=60)
+@given(observations, observations, observations)
+def test_merge_associative(values_a, values_b, values_c):
+    left = _filled(values_a)
+    left.merge(_filled(values_b))
+    left.merge(_filled(values_c))
+
+    bc = _filled(values_b)
+    bc.merge(_filled(values_c))
+    right = _filled(values_a)
+    right.merge(bc)
+
+    assert _state(left) == _state(right)
+
+
+@settings(deadline=None, max_examples=60)
+@given(st.lists(observations, max_size=6))
+def test_merge_conserves_count_and_sum(populations):
+    merged = Histogram()
+    for values in populations:
+        merged.merge(_filled(values))
+    flat = [value for values in populations for value in values]
+    assert merged.count == len(flat)
+    assert merged._sum == sum((Fraction(v) for v in flat), Fraction(0))
+    assert sum(merged.bucket_counts) == len(flat)
+
+
+@settings(deadline=None, max_examples=60)
+@given(observations.filter(bool), bucket_bounds,
+       st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=2,
+                max_size=10))
+def test_quantile_monotone_in_q(values, bounds, qs):
+    histogram = Histogram(bounds)
+    for value in values:
+        histogram.observe(value)
+    estimates = [histogram.quantile(q) for q in sorted(qs)]
+    assert all(b >= a for a, b in zip(estimates, estimates[1:]))
+
+
+@settings(deadline=None, max_examples=30)
+@given(observations, observations)
+def test_registry_merge_commutative(values_a, values_b):
+    def registry(values):
+        reg = MetricsRegistry()
+        for value in values:
+            reg.counter("events").inc()
+            reg.histogram("latency").observe(value)
+        return reg
+
+    ab = registry(values_a)
+    ab.merge(registry(values_b))
+    ba = registry(values_b)
+    ba.merge(registry(values_a))
+    assert ab.to_dict() == ba.to_dict()
