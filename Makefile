@@ -1,12 +1,24 @@
 # Development targets.
 
-.PHONY: install test bench report docs examples all clean
+.PHONY: install test lint bench report docs examples all clean
 
 install:
 	pip install -e .[test]
 
 test:
 	pytest tests/ -q
+
+# The determinism linter gates on a clean tree (exit 1 on findings);
+# ruff/mypy also gate when installed, and are skipped when absent so
+# the target works in a bare checkout (detlint itself needs no deps).
+lint:
+	python tools/detlint src/ --output detlint.json
+	@if command -v ruff >/dev/null 2>&1; \
+	then ruff check src/ tests/ benchmarks/ examples/; \
+	else echo "ruff not installed; skipped"; fi
+	@if command -v mypy >/dev/null 2>&1; \
+	then mypy; \
+	else echo "mypy not installed; skipped"; fi
 
 bench:
 	pytest benchmarks/ --benchmark-only -q

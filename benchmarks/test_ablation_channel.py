@@ -11,13 +11,7 @@ ratio falls).
 
 import numpy as np
 
-from repro.net import (
-    AccessCategory,
-    Frame,
-    NetworkInterface,
-    PhyConfig,
-    WirelessMedium,
-)
+from repro.net import AccessCategory, Frame, NetworkInterface, WirelessMedium
 from repro.net.propagation import (
     LinkBudget,
     LogDistancePathLoss,
@@ -71,7 +65,9 @@ def measure_load(background_stations, seed=1):
         sim.schedule(float(jitter_rng.uniform(0.0, 0.01)),
                      make_spam(nic))
 
-    def fire(count=[0]):
+    count = [0]
+
+    def fire():
         frame = Frame(payload=b"denm", size=100, source="rsu",
                       category=AccessCategory.AC_VO,
                       meta={"kind": "denm"})
@@ -105,7 +101,9 @@ def measure_distance(distance, seed=1):
     received = []
     obu.on_receive(lambda f, info: received.append(f))
 
-    def fire(count=[0]):
+    count = [0]
+
+    def fire():
         rsu.send(Frame(payload=b"denm", size=100, source="rsu",
                        category=AccessCategory.AC_VO))
         count[0] += 1

@@ -83,7 +83,9 @@ def run_configuration(use_dcc, seed=1):
         sim.schedule(float(jitter.uniform(0.0, OFFERED_PERIOD)),
                      make_offer(nic, gate))
 
-    def fire(count=[0]):
+    count = [0]
+
+    def fire():
         frame = Frame(payload=b"denm", size=100, source="rsu",
                       category=AccessCategory.AC_VO,
                       meta={"kind": "denm"})

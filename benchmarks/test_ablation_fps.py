@@ -9,7 +9,6 @@ distance travelled past the action point before the vehicle halts --
 quantifying how much safety margin the detector's frame rate costs.
 """
 
-import dataclasses
 
 import numpy as np
 

@@ -9,7 +9,6 @@ ground-truth intervals -- the envelope within which the paper's
 methodology can be trusted.
 """
 
-import dataclasses
 
 import numpy as np
 

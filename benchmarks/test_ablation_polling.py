@@ -7,7 +7,6 @@ relationship (mean extra delay ~ period / 2), the design observation
 behind DESIGN.md's "polling vs push" discussion.
 """
 
-import numpy as np
 
 from repro.core import EmergencyBrakeScenario, run_campaign
 

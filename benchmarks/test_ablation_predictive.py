@@ -23,7 +23,6 @@ def run_mode(mode):
         scenario = EmergencyBrakeScenario(seed=seed, hazard_mode=mode)
         testbed = ScaleTestbed(scenario)
         measurement = testbed.run()
-        detection = testbed.timeline.get(Steps.DETECTION)
         halted = testbed.timeline.has(Steps.HALTED)
         rows.append({
             "detection_distance": measurement.detection_distance,

@@ -11,7 +11,6 @@ times slower (grant-based access + core network), but the end-to-end
 total stays dominated by the edge and vehicle sides.
 """
 
-import dataclasses
 
 from repro.core import EmergencyBrakeScenario, run_campaign
 

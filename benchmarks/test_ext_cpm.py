@@ -14,7 +14,6 @@ blind-corner intersection exposes the trade-off:
   through.
 """
 
-import dataclasses
 
 from repro.core.blind_corner import BlindCornerScenario, BlindCornerTestbed
 

@@ -8,9 +8,7 @@ Runs a larger campaign (shorter approach to keep the bench fast) and
 fits candidate distributions to the total-delay population.
 """
 
-import dataclasses
 
-import numpy as np
 
 from repro.core import (
     EmergencyBrakeScenario,

@@ -58,7 +58,7 @@ def test_ext_platoon_delays(benchmark, report):
     report.save("ext_platoon")
 
     # --- Shape assertions --------------------------------------------
-    for interface, (mean_members, platoon, runs) in shapes.items():
+    for _interface, (_mean_members, platoon, runs) in shapes.items():
         assert all(run.all_stopped for run in runs)
         assert all(run.collisions == 0 for run in runs)
         assert all(run.min_gap > 0.5 for run in runs)

@@ -13,7 +13,6 @@ from repro.messages import (
 )
 from repro.messages.cause_codes import CAUSE_CODE_REGISTRY
 
-from benchmarks.conftest import fmt
 
 POSITION = ReferencePosition(41.17867, -8.60782)
 

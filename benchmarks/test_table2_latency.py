@@ -11,7 +11,6 @@ Paper's values (ms):
     total                      : 71 70 52 44 55  | avg 58.4
 """
 
-import numpy as np
 
 from repro.core import run_campaign
 

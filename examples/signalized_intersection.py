@@ -12,7 +12,6 @@ the Jetson checks the signal group governing its approach and
 Run:  python examples/signalized_intersection.py
 """
 
-import math
 
 from repro.facilities import ItsStation
 from repro.facilities.traffic_light import (

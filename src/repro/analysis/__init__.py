@@ -1,0 +1,41 @@
+"""Static analysis of the testbed's determinism invariants.
+
+``repro.analysis`` is *detlint*: a custom AST linter that machine-
+checks the contracts the whole reproduction rests on -- the
+serial == parallel == instrumented bit-identity that the campaign
+engine, the fault matrix and the golden traces all assume.  The
+identity *tests* catch a violation after the fact; detlint catches
+the code patterns that cause them (a stray ``time.time()``, an
+unseeded ``random`` draw, an unsorted ``set`` feeding a canonical
+exporter) at review time, before any campaign runs.
+
+Entry points:
+
+* ``repro-testbed lint src/`` (CLI subcommand);
+* ``tools/detlint src/`` (standalone script, same engine);
+* :func:`lint_paths` (library API).
+
+The rule catalogue (DET001..DET008) is documented in
+ARCHITECTURE.md §10; per-line suppressions use
+``# detlint: ignore[DET00x] -- reason``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.engine import LintResult, lint_paths
+from repro.analysis.findings import Finding
+from repro.analysis.reporters import render_json, render_text
+from repro.analysis.rules import Rule, all_rules, rule_ids
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "LintResult",
+    "Rule",
+    "all_rules",
+    "lint_paths",
+    "render_json",
+    "render_text",
+    "rule_ids",
+]

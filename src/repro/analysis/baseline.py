@@ -1,0 +1,103 @@
+"""Baseline files: grandfather existing findings, gate new ones.
+
+A baseline is a JSON inventory of finding fingerprints (rule + path +
+offending line text, no line numbers) recorded at the moment the
+gate was introduced.  ``detlint --baseline FILE`` subtracts the
+inventory from the current findings, so CI fails only on *new*
+violations while the grandfathered ones are burned down.  The merged
+tree of this repository lints clean, so its baseline is empty -- the
+machinery exists for downstream forks and for ratcheting future
+rules in.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.analysis.findings import Finding
+
+#: Bump when the baseline serialisation changes; mismatched files are
+#: rejected loudly rather than silently masking findings.
+BASELINE_FORMAT = 1
+
+
+class Baseline:
+    """A set of grandfathered finding fingerprints."""
+
+    def __init__(self,
+                 entries: Optional[Dict[str, Dict[str, Any]]] = None
+                 ) -> None:
+        #: fingerprint -> context (rule/path/snippet, for humans).
+        self.entries: Dict[str, Dict[str, Any]] = dict(entries or {})
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __contains__(self, finding: Finding) -> bool:
+        return finding.fingerprint() in self.entries
+
+    @classmethod
+    def from_findings(cls, findings: List[Finding]) -> "Baseline":
+        """A baseline covering exactly *findings*."""
+        entries = {
+            f.fingerprint(): {"path": f.path, "rule": f.rule,
+                              "snippet": f.snippet}
+            for f in sorted(findings, key=Finding.sort_key)
+        }
+        return cls(entries)
+
+    def filter(self, findings: List[Finding]
+               ) -> Tuple[List[Finding], List[Finding]]:
+        """Split *findings* into (new, grandfathered)."""
+        new: List[Finding] = []
+        old: List[Finding] = []
+        for finding in findings:
+            (old if finding in self else new).append(finding)
+        return new, old
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Canonical JSON-serialisable form (sorted fingerprints)."""
+        return {
+            "format": BASELINE_FORMAT,
+            "entries": {key: self.entries[key]
+                        for key in sorted(self.entries)},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Baseline":
+        """Rebuild a baseline serialised by :meth:`to_dict`."""
+        if data.get("format") != BASELINE_FORMAT:
+            raise ValueError(
+                f"unsupported baseline format "
+                f"{data.get('format')!r}; expected {BASELINE_FORMAT}")
+        return cls(dict(data.get("entries", {})))
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        """Read a baseline file (:meth:`save`'s output)."""
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_dict(json.load(handle))
+
+    def save(self, path: str) -> None:
+        """Write the baseline atomically (temp file + replace)."""
+        directory = os.path.dirname(os.path.abspath(path))
+        fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(self.to_dict(), handle, indent=2,
+                          sort_keys=True)
+                handle.write("\n")
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise

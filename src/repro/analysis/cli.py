@@ -1,0 +1,117 @@
+"""The detlint command line (shared by two entry points).
+
+``repro-testbed lint`` and the standalone ``tools/detlint`` script
+both build their argument parser from :func:`add_arguments` and
+execute through :func:`run`, so flags and behaviour can never drift
+apart.
+
+Exit codes: 0 clean, 1 findings, 2 usage errors (argparse).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.engine import lint_paths
+from repro.analysis.reporters import (
+    render_json,
+    render_rules_text,
+    render_text,
+)
+
+
+def _rule_list(text: str) -> List[str]:
+    return [chunk.strip() for chunk in text.split(",")
+            if chunk.strip()]
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    """Install the detlint flags on *parser*."""
+    parser.add_argument("paths", nargs="*", default=["src/"],
+                        metavar="PATH",
+                        help="files or directories to lint "
+                             "(default: src/)")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text",
+                        help="report format (default: text)")
+    parser.add_argument("--output", default=None, metavar="FILE",
+                        help="also write the report to FILE "
+                             "(the CI artifact path)")
+    parser.add_argument("--baseline", default=None, metavar="FILE",
+                        help="subtract the grandfathered findings "
+                             "recorded in FILE")
+    parser.add_argument("--write-baseline", default=None,
+                        metavar="FILE",
+                        help="record the current findings as the "
+                             "baseline FILE and exit 0")
+    parser.add_argument("--select", type=_rule_list, default=None,
+                        metavar="IDS",
+                        help="comma-separated rule ids to run "
+                             "(default: all)")
+    parser.add_argument("--ignore", type=_rule_list, default=None,
+                        metavar="IDS",
+                        help="comma-separated rule ids to skip")
+    parser.add_argument("--no-unused-suppressions",
+                        action="store_true",
+                        help="do not report suppressions that "
+                             "silence nothing")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+
+
+def run(args: argparse.Namespace) -> int:
+    """Execute one lint invocation described by parsed *args*."""
+    if args.list_rules:
+        sys.stdout.write(render_rules_text())
+        return 0
+    baseline = None
+    if args.baseline is not None:
+        try:
+            baseline = Baseline.load(args.baseline)
+        except (OSError, ValueError) as error:
+            raise SystemExit(
+                f"detlint: error: cannot read baseline "
+                f"{args.baseline!r}: {error}") from error
+    try:
+        result = lint_paths(
+            args.paths,
+            select=args.select,
+            ignore=args.ignore,
+            baseline=baseline,
+            warn_suppressions=not args.no_unused_suppressions)
+    except (OSError, ValueError) as error:
+        raise SystemExit(f"detlint: error: {error}") from error
+    if args.write_baseline is not None:
+        Baseline.from_findings(result.findings).save(
+            args.write_baseline)
+        print(f"detlint: wrote baseline with "
+              f"{len(result.findings)} entr"
+              f"{'y' if len(result.findings) == 1 else 'ies'} to "
+              f"{args.write_baseline}")
+        return 0
+    report = (render_json(result) if args.format == "json"
+              else render_text(result))
+    sys.stdout.write(report)
+    if args.output is not None:
+        # The artifact is always the JSON form, whatever is printed.
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(render_json(result))
+    return result.exit_code
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Standalone entry point (``tools/detlint``)."""
+    parser = argparse.ArgumentParser(
+        prog="detlint",
+        description="AST determinism linter for the repro testbed "
+                    "(rules DET001..DET008; see ARCHITECTURE.md "
+                    "§10)")
+    add_arguments(parser)
+    return run(parser.parse_args(argv))
+
+
+if __name__ == "__main__":  # pragma: no cover - module execution
+    sys.exit(main())

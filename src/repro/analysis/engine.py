@@ -1,0 +1,181 @@
+"""The linting engine: file discovery, rule dispatch, filtering.
+
+:func:`lint_paths` is the single entry point used by the CLI, the
+``tools/detlint`` script and the test suite.  It walks the given
+files/directories in sorted order, parses each Python file once,
+runs every selected rule over the shared :class:`ModuleContext`,
+then filters the findings through per-line suppressions and the
+optional baseline.  The result is fully deterministic: findings are
+sorted by (path, line, column, rule) and paths are normalised to
+forward slashes, so the same tree always produces the same report
+bytes on every platform.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import os
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.findings import Finding
+from repro.analysis.rules import Rule, all_rules, build_context, rule_ids
+from repro.analysis.suppressions import (
+    META_RULE,
+    apply_suppressions,
+    parse_suppressions,
+)
+
+
+@dataclasses.dataclass
+class LintResult:
+    """Everything one lint invocation produced."""
+
+    #: Findings that gate (new, unsuppressed), in report order.
+    findings: List[Finding]
+    #: Findings matched by the baseline (informational).
+    grandfathered: List[Finding]
+    #: How many Python files were parsed and checked.
+    files_checked: int
+
+    @property
+    def exit_code(self) -> int:
+        """0 when clean, 1 when any finding gates."""
+        return 1 if self.findings else 0
+
+
+def discover_files(paths: Sequence[str]) -> List[str]:
+    """Expand *paths* to a sorted list of ``.py`` files.
+
+    Directories are walked recursively (``__pycache__``, hidden
+    directories and non-Python files skipped); explicit file paths
+    are taken as-is so fixtures with unusual names stay lintable.
+    """
+    out: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, dirs, files in os.walk(path):
+                dirs[:] = sorted(
+                    d for d in dirs
+                    if d != "__pycache__" and not d.startswith("."))
+                for name in sorted(files):
+                    if name.endswith(".py"):
+                        out.append(os.path.join(root, name))
+        else:
+            out.append(path)
+    return sorted(dict.fromkeys(normalise_path(p) for p in out))
+
+
+def normalise_path(path: str) -> str:
+    """Relative-to-cwd, forward-slash form of *path*."""
+    try:
+        rel = os.path.relpath(path)
+    except ValueError:  # pragma: no cover - Windows drive mismatch
+        rel = path
+    if not rel.startswith(".."):
+        path = rel
+    return path.replace(os.sep, "/")
+
+
+def module_name_for(path: str) -> str:
+    """Best-effort dotted module name for allowlist matching.
+
+    ``src/repro/sim/kernel.py`` maps to ``repro.sim.kernel``; paths
+    outside a ``src`` root fall back to their path-derived dotted
+    name, which deliberately never collides with the ``repro.*``
+    allowlists (fixtures must face the strictest version of every
+    rule).
+    """
+    parts = path.replace(os.sep, "/").split("/")
+    if parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][:-3]
+    if parts[-1] == "__init__" and len(parts) > 1:
+        parts = parts[:-1]
+    if "src" in parts:
+        parts = parts[parts.index("src") + 1:]
+    elif parts and parts[0] == "repro":
+        pass
+    return ".".join(part for part in parts if part)
+
+
+def _selected_rules(select: Optional[Iterable[str]],
+                    ignore: Optional[Iterable[str]]) -> List[Rule]:
+    known = set(rule_ids())
+    chosen = set(select) if select else set(known)
+    dropped = set(ignore) if ignore else set()
+    unknown = sorted((chosen | dropped) - known - {META_RULE})
+    if unknown:
+        raise ValueError(
+            f"unknown rule id(s): {', '.join(unknown)}; known rules "
+            f"are {', '.join(sorted(known))}")
+    wanted = chosen - dropped
+    return [rule for rule in all_rules() if rule.rule_id in wanted]
+
+
+def lint_source(source: str, path: str,
+                rules: Optional[Sequence[Rule]] = None,
+                warn_suppressions: bool = True,
+                ) -> List[Finding]:
+    """Lint one in-memory source text (the unit-test entry point)."""
+    path = normalise_path(path)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        return [Finding(
+            rule=META_RULE, path=path, line=error.lineno or 1,
+            column=(error.offset or 0) + 1,
+            message=f"syntax error: {error.msg}",
+            snippet=(error.text or "").strip())]
+    ctx = build_context(path, module_name_for(path), source, tree)
+    raw: List[Finding] = []
+    for rule in (rules if rules is not None else all_rules()):
+        if rule.exempt(ctx):
+            continue
+        raw.extend(rule.check(ctx))
+    suppressions, problems = parse_suppressions(source, path)
+    kept, unused = apply_suppressions(raw, suppressions, path,
+                                      ctx.lines)
+    findings = kept + problems
+    if warn_suppressions:
+        findings += unused
+    return sorted(findings, key=Finding.sort_key)
+
+
+def lint_paths(paths: Sequence[str],
+               select: Optional[Iterable[str]] = None,
+               ignore: Optional[Iterable[str]] = None,
+               baseline: Optional[Baseline] = None,
+               warn_suppressions: bool = True,
+               ) -> LintResult:
+    """Lint every Python file under *paths*.
+
+    *select* / *ignore* narrow the rule set by id; *baseline*
+    subtracts grandfathered findings (they are still reported, as
+    informational).  Unknown rule ids raise ValueError.
+    """
+    rules = _selected_rules(select, ignore)
+    files = discover_files(paths)
+    findings: List[Finding] = []
+    for path in files:
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        findings.extend(lint_source(
+            source, path, rules=rules,
+            warn_suppressions=warn_suppressions))
+    findings.sort(key=Finding.sort_key)
+    grandfathered: List[Finding] = []
+    if baseline is not None:
+        findings, grandfathered = baseline.filter(findings)
+    return LintResult(findings=findings,
+                      grandfathered=grandfathered,
+                      files_checked=len(files))
+
+
+def count_by_rule(findings: Sequence[Finding]
+                  ) -> List[Tuple[str, int]]:
+    """(rule id, count) pairs, sorted by rule id."""
+    counts: dict = {}
+    for finding in findings:
+        counts[finding.rule] = counts.get(finding.rule, 0) + 1
+    return sorted(counts.items())

@@ -1,0 +1,61 @@
+"""The finding record every rule emits.
+
+A :class:`Finding` pins a rule violation to a file and line.  Its
+:meth:`fingerprint` deliberately excludes the line *number* (only the
+rule, the path and the offending source line's text are hashed) so a
+baseline entry survives unrelated edits that shift the file -- the
+same trade-off ruff's and mypy's baselines make.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from typing import Any, Dict
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    column: int
+    message: str
+    #: The stripped source text of the offending line (fingerprint
+    #: input; keeps baselines stable across line-number drift).
+    snippet: str = ""
+
+    def sort_key(self) -> Any:
+        """Deterministic report order: path, line, column, rule."""
+        return (self.path, self.line, self.column, self.rule)
+
+    def fingerprint(self) -> str:
+        """Line-number-insensitive identity used by baselines."""
+        payload = f"{self.rule}|{self.path}|{self.snippet}"
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Canonical JSON-serialisable form (sorted by key name)."""
+        return {
+            "column": self.column,
+            "fingerprint": self.fingerprint(),
+            "line": self.line,
+            "message": self.message,
+            "path": self.path,
+            "rule": self.rule,
+            "snippet": self.snippet,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Finding":
+        """Rebuild a finding serialised by :meth:`to_dict`."""
+        return cls(
+            rule=str(data["rule"]),
+            path=str(data["path"]),
+            line=int(data["line"]),
+            column=int(data["column"]),
+            message=str(data["message"]),
+            snippet=str(data.get("snippet", "")),
+        )

@@ -1,0 +1,79 @@
+"""Finding reporters: human text and canonical JSON.
+
+Both renderers are pure functions of the :class:`LintResult`, emit
+findings in the engine's deterministic order, and end with a
+newline, so reports are byte-stable and diffable (the JSON report is
+uploaded as a CI artifact; the text report is what developers read).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.analysis.engine import LintResult, count_by_rule
+from repro.analysis.rules import all_rules
+
+#: Bump when the JSON report layout changes.
+REPORT_FORMAT = 1
+
+
+def render_text(result: LintResult) -> str:
+    """The human-readable report: one line per finding + summary."""
+    lines = [
+        f"{f.path}:{f.line}:{f.column}: {f.rule} {f.message}"
+        for f in result.findings
+    ]
+    if result.grandfathered:
+        lines.append(f"(baseline: {len(result.grandfathered)} "
+                     f"grandfathered finding(s) not shown)")
+    if result.findings:
+        by_rule = ", ".join(f"{rule} x{count}" for rule, count
+                            in count_by_rule(result.findings))
+        lines.append(f"detlint: {len(result.findings)} finding(s) "
+                     f"[{by_rule}] in {result.files_checked} "
+                     f"file(s)")
+    else:
+        lines.append(f"detlint: clean "
+                     f"({result.files_checked} file(s) checked)")
+    return "\n".join(lines) + "\n"
+
+
+def render_json(result: LintResult) -> str:
+    """The canonical JSON report (sorted keys, 2-space indent)."""
+    payload: Dict[str, Any] = {
+        "format": REPORT_FORMAT,
+        "files_checked": result.files_checked,
+        "findings": [f.to_dict() for f in result.findings],
+        "grandfathered": [f.to_dict()
+                          for f in result.grandfathered],
+        "summary": {
+            "total": len(result.findings),
+            "by_rule": dict(count_by_rule(result.findings)),
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def render_rules_text() -> str:
+    """The rule catalogue (``--list-rules``)."""
+    lines = []
+    for rule in all_rules():
+        lines.append(f"{rule.rule_id}  {rule.title}")
+        for chunk in _wrap(rule.rationale, width=64):
+            lines.append(f"        {chunk}")
+    return "\n".join(lines) + "\n"
+
+
+def _wrap(text: str, width: int) -> list:
+    words = text.split()
+    lines, current = [], ""
+    for word in words:
+        if current and len(current) + 1 + len(word) > width:
+            lines.append(current)
+            current = word
+        else:
+            current = f"{current} {word}".strip()
+    if current:
+        lines.append(current)
+    return lines

@@ -1,0 +1,151 @@
+"""Per-line suppressions: ``# detlint: ignore[DET003] -- reason``.
+
+A suppression silences the named rule(s) on the physical line it
+appears on.  The grammar is deliberately strict -- every suppression
+must name at least one rule id *and* give a reason after ``--`` --
+so the codebase never accumulates bare, unexplained escapes.
+Malformed comments and suppressions that silenced nothing are
+themselves reported under the meta-rule :data:`META_RULE` (DET000),
+which keeps the suppression inventory honest.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import io
+import re
+import tokenize
+from typing import Dict, List, Set, Tuple
+
+from repro.analysis.findings import Finding
+
+#: The meta-rule id for malformed or unused suppressions.
+META_RULE = "DET000"
+
+#: Matches the whole suppression comment, capturing rules and reason.
+_SUPPRESS_RE = re.compile(
+    r"#\s*detlint:\s*ignore\[(?P<rules>[^\]]*)\]"
+    r"(?:\s*--\s*(?P<reason>.*))?")
+
+#: Anything that merely *mentions* the linter in a comment -- used
+#: to catch typos (a missing colon, a misspelt ``ignore``) that
+#: would otherwise silently fail to suppress.
+_MENTION_RE = re.compile(r"#\s*detlint\b")
+
+_RULE_ID_RE = re.compile(r"^DET\d{3}$")
+
+
+@dataclasses.dataclass(frozen=True)
+class Suppression:
+    """One parsed suppression comment."""
+
+    line: int
+    rules: Tuple[str, ...]
+    reason: str
+
+
+def parse_suppressions(
+        source: str, path: str) -> Tuple[Dict[int, Suppression],
+                                         List[Finding]]:
+    """Parse every suppression comment in *source*.
+
+    Returns ``(by_line, problems)``: the valid suppressions keyed by
+    physical line number (1-based), and DET000 findings for malformed
+    ones (missing reason, bad rule id, unparsable syntax).
+    """
+    by_line: Dict[int, Suppression] = {}
+    problems: List[Finding] = []
+    for lineno, column, text in _comments(source):
+        if not _MENTION_RE.search(text):
+            continue
+        snippet = text.strip()
+        match = _SUPPRESS_RE.search(text)
+        if match is None:
+            problems.append(Finding(
+                rule=META_RULE, path=path, line=lineno,
+                column=column + 1,
+                message=("unparsable detlint comment; expected "
+                         "'# detlint: ignore[DET00x] -- reason'"),
+                snippet=snippet))
+            continue
+        rules = tuple(r.strip() for r in
+                      match.group("rules").split(",") if r.strip())
+        reason = (match.group("reason") or "").strip()
+        bad = [r for r in rules if not _RULE_ID_RE.match(r)]
+        if not rules or bad:
+            problems.append(Finding(
+                rule=META_RULE, path=path, line=lineno,
+                column=column + 1,
+                message=(f"invalid rule id(s) {bad or ['(none)']} in "
+                         f"suppression; expected DET followed by "
+                         f"three digits"),
+                snippet=snippet))
+            continue
+        if not reason:
+            problems.append(Finding(
+                rule=META_RULE, path=path, line=lineno,
+                column=column + 1,
+                message=("suppression must give a reason: "
+                         "'# detlint: ignore[...] -- why'"),
+                snippet=snippet))
+            continue
+        by_line[lineno] = Suppression(line=lineno, rules=rules,
+                                      reason=reason)
+    return by_line, problems
+
+
+def _comments(source: str) -> List[Tuple[int, int, str]]:
+    """(line, column, text) of every comment token in *source*.
+
+    Tokenising (rather than scanning raw lines) keeps suppression
+    syntax inside docstrings and string literals -- like the examples
+    in this very module -- from being parsed as live suppressions.
+    Unterminated sources fall back to no comments; the engine
+    reports the syntax error separately.
+    """
+    out: List[Tuple[int, int, str]] = []
+    try:
+        tokens = tokenize.generate_tokens(
+            io.StringIO(source).readline)
+        for token in tokens:
+            if token.type == tokenize.COMMENT:
+                out.append((token.start[0], token.start[1],
+                            token.string))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return []
+    return out
+
+
+def apply_suppressions(
+        findings: List[Finding],
+        by_line: Dict[int, Suppression],
+        path: str,
+        lines: List[str]) -> Tuple[List[Finding], List[Finding]]:
+    """Filter *findings* through the suppression table.
+
+    Returns ``(kept, unused)``: the findings that survived, plus
+    DET000 findings for suppressions that silenced nothing (stale
+    escapes should be deleted, not carried).
+    """
+    used: Set[int] = set()
+    kept: List[Finding] = []
+    for finding in findings:
+        suppression = by_line.get(finding.line)
+        if (suppression is not None
+                and finding.rule in suppression.rules):
+            used.add(finding.line)
+        else:
+            kept.append(finding)
+    unused: List[Finding] = []
+    for lineno, suppression in sorted(by_line.items()):
+        if lineno in used:
+            continue
+        snippet = (lines[lineno - 1].strip()
+                   if 0 < lineno <= len(lines) else "")
+        unused.append(Finding(
+            rule=META_RULE, path=path, line=lineno, column=1,
+            message=(f"unused suppression for "
+                     f"{', '.join(suppression.rules)}: nothing on "
+                     f"this line triggers it (delete the comment)"),
+            snippet=snippet))
+    return kept, unused

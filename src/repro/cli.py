@@ -11,7 +11,9 @@ Subcommands:
   SAFE/LATE/NO/SPURIOUS-stop verdicts;
 * ``bench`` -- the fixed perf grid, writing ``BENCH_<rev>.json``;
 * ``trace`` -- one traced run as canonical JSONL + step timeline
-  (``--update-golden`` refreshes the golden-trace fixtures).
+  (``--update-golden`` refreshes the golden-trace fixtures);
+* ``lint`` -- the detlint determinism linter (rules DET001..DET008
+  over ``src/``; same engine as ``tools/detlint``).
 
 Examples::
 
@@ -105,7 +107,7 @@ def _check_cache_dir(cache_dir) -> None:
     except OSError as error:
         raise SystemExit(
             f"repro-testbed: error: --cache-dir {cache_dir!r} is not "
-            f"a usable directory ({error})")
+            f"a usable directory ({error})") from error
 
 
 def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
@@ -397,6 +399,12 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.cli import run as run_lint
+
+    return run_lint(args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-testbed",
@@ -490,6 +498,13 @@ def build_parser() -> argparse.ArgumentParser:
                                    f"{GOLDEN_DIR} (golden-trace "
                                    f"regression test)")
     trace_parser.set_defaults(func=cmd_trace)
+
+    lint_parser = sub.add_parser(
+        "lint", help="detlint determinism linter (DET001..DET008)")
+    from repro.analysis.cli import add_arguments as add_lint_arguments
+
+    add_lint_arguments(lint_parser)
+    lint_parser.set_defaults(func=cmd_lint)
 
     return parser
 

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
-from typing import List, Optional, Tuple
+from typing import Optional, Tuple
 
 from repro.core.measurement import StepTimeline, Steps
 from repro.geonet.position import LocalFrame
@@ -242,7 +242,6 @@ class BlindCornerTestbed:
         from repro.facilities.cp_service import CpConfig, CpService
         from repro.messages.cpm import PerceivedObject
 
-        sc = self.scenario
         rsu_position = (1.0, 1.0)
 
         def provider():

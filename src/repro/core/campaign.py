@@ -34,7 +34,7 @@ import json
 import os
 import tempfile
 from time import perf_counter
-from typing import Callable, List, Optional, TYPE_CHECKING
+from typing import Callable, Optional, TYPE_CHECKING
 
 import repro
 from repro.core.measurement import RunMeasurement

@@ -115,9 +115,12 @@ _CANDIDATES = {
     "weibull": stats.weibull_min,
 }
 
+#: Default fitting order (insertion order of ``_CANDIDATES``).
+_CANDIDATE_NAMES = tuple(_CANDIDATES)
+
 
 def fit_distributions(samples: Sequence[float],
-                      candidates: Sequence[str] = tuple(_CANDIDATES),
+                      candidates: Sequence[str] = _CANDIDATE_NAMES,
                       ) -> List[DistributionFit]:
     """Fit candidate distributions; best (lowest AIC) first.
 

@@ -318,8 +318,6 @@ class PlatoonTestbed:
         """Cruise, fire the warning at *warning_after*, run to stop."""
         self.sim.schedule(warning_after, self.issue_warning)
         self.sim.run_until(self.scenario.timeout)
-        member_delays = [member.outcome.actuated_at
-                         for member in self.members]
         collisions = sum(1 for ahead, behind in zip(self.members,
                                                     self.members[1:])
                          if behind.x - ahead.x - 0.53 <= 0.0)

@@ -15,7 +15,6 @@ import dataclasses
 from typing import Callable, List, Optional, Sequence
 
 from repro.facilities.ldm import Ldm, LdmObject, ObjectKind
-from repro.geonet.btp import BtpPort
 from repro.geonet.position import GeoPosition, LocalFrame
 from repro.geonet.router import GeoNetRouter
 from repro.messages.cam import generation_delta_time

@@ -10,7 +10,6 @@ from __future__ import annotations
 
 from typing import Callable, Optional, Tuple
 
-import numpy as np
 
 from repro.facilities.ca_service import CaBasicService, CaConfig, StationState
 from repro.facilities.den_service import DenBasicService, DenConfig

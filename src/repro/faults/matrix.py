@@ -19,7 +19,7 @@ import dataclasses
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.core.campaign import run_campaign_parallel
-from repro.core.scenario import EmergencyBrakeScenario
+from repro.core.scenario import EmergencyBrakeScenario, scenario_from_dict
 from repro.faults.envelope import (
     DependabilityVerdict,
     SAFE_STOP,
@@ -89,6 +89,15 @@ class FaultMatrixRow:
             "verdicts": [v.to_dict() for v in self.verdicts],
         }
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultMatrixRow":
+        """Rebuild a row serialised by :meth:`to_dict`."""
+        return cls(
+            plan=FaultPlan.from_dict(data["plan"]),
+            verdicts=[DependabilityVerdict.from_dict(entry)
+                      for entry in data["verdicts"]],
+        )
+
 
 @dataclasses.dataclass
 class FaultMatrixResult:
@@ -108,7 +117,23 @@ class FaultMatrixResult:
 
     def to_dict(self) -> Dict[str, Any]:
         """Canonical JSON-serialisable form of every row."""
-        return {"rows": [row.to_dict() for row in self.rows]}
+        return {
+            "base_seed": self.base_seed,
+            "envelope": dataclasses.asdict(self.envelope),
+            "rows": [row.to_dict() for row in self.rows],
+            "scenario": dataclasses.asdict(self.scenario),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultMatrixResult":
+        """Rebuild a matrix serialised by :meth:`to_dict`."""
+        return cls(
+            scenario=scenario_from_dict(data["scenario"]),
+            envelope=SafetyEnvelope(**data["envelope"]),
+            base_seed=int(data["base_seed"]),
+            rows=[FaultMatrixRow.from_dict(entry)
+                  for entry in data["rows"]],
+        )
 
 
 def run_fault_matrix(

@@ -56,6 +56,21 @@ class Fault:
             data[field.name] = value
         return data
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Fault":
+        """Rebuild a fault serialised by :meth:`to_dict`.
+
+        Dispatches on ``data["kind"]`` via :func:`fault_from_dict`;
+        calling it on a concrete subclass additionally checks the
+        rebuilt fault really is of that subclass.
+        """
+        fault = fault_from_dict(data)
+        if not isinstance(fault, cls):
+            raise ValueError(
+                f"fault kind {data.get('kind')!r} deserialises to "
+                f"{type(fault).__name__}, not {cls.__name__}")
+        return fault
+
     def __post_init__(self) -> None:
         if self.start < 0:
             raise ValueError(f"fault start must be >= 0, got {self.start}")

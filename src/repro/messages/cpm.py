@@ -16,12 +16,11 @@ xDistance/yDistance (here at 0.01 m resolution).
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional, Tuple
+from typing import Tuple
 
 from repro.asn1 import Enumerated, Field, Integer, Sequence, SequenceOf
 from repro.messages.common import (
     ITS_PDU_HEADER,
-    MessageId,
     REFERENCE_POSITION,
     ReferencePosition,
     StationTypeType,

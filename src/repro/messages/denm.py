@@ -18,7 +18,6 @@ from typing import List, Optional, Tuple
 
 from repro.asn1 import (
     Boolean,
-    Choice,
     Enumerated,
     Field,
     Integer,

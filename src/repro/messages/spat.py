@@ -12,7 +12,7 @@ but are genuine UPER on the wire like CAM/DENM.
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Optional, Tuple
+from typing import Optional, Tuple
 
 from repro.asn1 import Enumerated, Field, Integer, Sequence, SequenceOf
 from repro.messages.common import (

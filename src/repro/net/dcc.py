@@ -27,7 +27,7 @@ from __future__ import annotations
 import dataclasses
 import enum
 from collections import deque
-from typing import Callable, Deque, Dict, List, Optional, Tuple
+from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.net.frame import AccessCategory, Frame
 from repro.net.nic import NetworkInterface

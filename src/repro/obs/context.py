@@ -18,12 +18,13 @@ subcommand serialises it into ``BENCH_<rev>.json``.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Optional
+from typing import Any, ContextManager, Dict, Iterable, List, Optional
 
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.profile import WallProfiler, WallStats
 from repro.obs.spans import (
     Span,
+    SpanEvent,
     SpanRecorder,
     SpanStats,
     merge_span_stats,
@@ -73,7 +74,7 @@ class ObsContext:
         """Record a sim-time span whose endpoints are known."""
         self.spans.record(name, start, end, device=device)
 
-    def profile(self, name: str):
+    def profile(self, name: str) -> ContextManager[None]:
         """Wall-clock timing context for a hot path."""
         return self.wall.measure(name)
 
@@ -91,16 +92,32 @@ class ObsContext:
         return {
             "metrics": self.metrics.to_dict(),
             "spans": {name: stats.to_dict()
-                      for name, stats in self.spans.stats().items()},
+                      for name, stats
+                      in sorted(self.spans.stats().items())},
             "span_events": self.spans.to_dicts(),
             "wall": self.wall.to_dict(),
         }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ObsContext":
+        """Rebuild a context serialised by :meth:`to_dict`.
+
+        Per-name span statistics are re-derived from the replayed
+        events, so the round-tripped ``to_dict`` matches the
+        original byte for byte.
+        """
+        ctx = cls()
+        ctx.metrics = MetricsRegistry.from_dict(data["metrics"])
+        for entry in data["span_events"]:
+            ctx.spans._events.append(SpanEvent.from_dict(entry))
+        ctx.wall = WallProfiler.from_dict(data["wall"])
+        return ctx
 
     def to_prometheus_text(self) -> str:
         """Prometheus exposition text: metrics + span-duration series."""
         text = self.metrics.to_prometheus_text()
         lines: List[str] = []
-        for name, stats in self.spans.stats().items():
+        for name, stats in sorted(self.spans.stats().items()):
             flat = ("repro_span_" + name).replace(".", "_")
             lines.append(f"# TYPE {flat}_seconds summary")
             lines.append(f'{flat}_seconds_count {stats.count}')
@@ -159,9 +176,23 @@ class ObsAggregate:
             "metrics": self.metrics.to_dict(),
             "spans": {name: stats.to_dict()
                       for name, stats in
-                      self.span_stats_sorted().items()},
+                      sorted(self.span_stats_sorted().items())},
             "wall": self.wall.to_dict(),
         }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ObsAggregate":
+        """Rebuild an aggregate serialised by :meth:`to_dict`."""
+        agg = cls()
+        agg.runs = int(data["runs"])
+        agg.cached_runs = int(data["cached_runs"])
+        agg.run_wall_seconds = [float(v) for v
+                                in data["run_wall_seconds"]]
+        agg.metrics = MetricsRegistry.from_dict(data["metrics"])
+        for name, entry in sorted(data["spans"].items()):
+            agg.span_stats[name] = SpanStats.from_dict(entry)
+        agg.wall = WallProfiler.from_dict(data["wall"])
+        return agg
 
 
 __all__ = ["ObsAggregate", "ObsContext", "WallStats"]

@@ -47,23 +47,37 @@ def _render_labels(pairs: LabelPairs) -> str:
 
 
 class Counter:
-    """A monotonically increasing count."""
+    """A monotonically increasing count.
 
-    __slots__ = ("value",)
+    Like the histogram sum, the running value accumulates as an
+    exact rational (every float increment is an exact
+    :class:`~fractions.Fraction`), so merging counters is
+    associative and commutative bit for bit regardless of fold
+    order -- the DET004 contract for exactly-mergeable state.
+    Floats only appear at the export edge (:attr:`value`,
+    :meth:`to_dict`).
+    """
+
+    __slots__ = ("_value",)
 
     def __init__(self) -> None:
-        self.value = 0.0
+        self._value = Fraction(0)
+
+    @property
+    def value(self) -> float:
+        """The count, as a float."""
+        return float(self._value)
 
     def inc(self, amount: float = 1.0) -> None:
         """Add *amount* (must be >= 0)."""
         if amount < 0:
             raise ValueError(f"counter increment must be >= 0, "
                              f"got {amount}")
-        self.value += amount
+        self._value += Fraction(amount)
 
     def merge(self, other: "Counter") -> None:
-        """Fold *other* into this counter."""
-        self.value += other.value
+        """Fold *other* into this counter (exact)."""
+        self._value += other._value
 
     def to_dict(self) -> Dict[str, Any]:
         return {"value": self.value}
@@ -71,7 +85,7 @@ class Counter:
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "Counter":
         counter = cls()
-        counter.value = float(data["value"])
+        counter._value = Fraction(float(data["value"]))
         return counter
 
 

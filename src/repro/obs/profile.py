@@ -57,6 +57,17 @@ class WallStats:
             "mean_s": self.mean if self.count else None,
         }
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "WallStats":
+        """Rebuild stats serialised by :meth:`to_dict`."""
+        stats = cls()
+        stats.count = int(data["count"])
+        stats.total = float(data["total_s"])
+        if stats.count:
+            stats.minimum = float(data["min_s"])
+            stats.maximum = float(data["max_s"])
+        return stats
+
 
 class WallProfiler:
     """Accumulates wall-clock durations per named site."""
@@ -83,13 +94,21 @@ class WallProfiler:
 
     def merge(self, other: "WallProfiler") -> None:
         """Fold *other*'s accumulated stats into this profiler."""
-        for name, stats in other._stats.items():
+        for name, stats in sorted(other._stats.items()):
             self._stats.setdefault(name, WallStats()).merge(stats)
 
     def to_dict(self) -> Dict[str, Any]:
         """Canonical JSON-serialisable per-name stats."""
         return {name: stats.to_dict()
-                for name, stats in self.stats().items()}
+                for name, stats in sorted(self.stats().items())}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "WallProfiler":
+        """Rebuild a profiler serialised by :meth:`to_dict`."""
+        profiler = cls()
+        for name, entry in sorted(data.items()):
+            profiler._stats[name] = WallStats.from_dict(entry)
+        return profiler
 
     def __len__(self) -> int:
         return len(self._stats)

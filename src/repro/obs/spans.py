@@ -24,6 +24,7 @@ scheduling, so recording spans can never perturb a simulation.
 from __future__ import annotations
 
 import dataclasses
+from fractions import Fraction
 from typing import Any, Callable, Dict, List, Optional
 
 
@@ -54,30 +55,57 @@ class SpanEvent:
             "depth": self.depth,
         }
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SpanEvent":
+        """Rebuild an event serialised by :meth:`to_dict`."""
+        return cls(
+            name=str(data["name"]),
+            device=str(data["device"]),
+            start=float(data["start"]),
+            end=float(data["end"]),
+            depth=int(data["depth"]),
+        )
 
-@dataclasses.dataclass
+
 class SpanStats:
-    """Aggregated statistics for one span name."""
+    """Aggregated statistics for one span name.
 
-    count: int = 0
-    total: float = 0.0
-    minimum: float = float("inf")
-    maximum: float = float("-inf")
+    Durations accumulate as exact rationals (like histogram sums),
+    so folding per-run stats into a campaign aggregate is
+    associative and commutative bit for bit whatever the merge
+    order -- the DET004 contract.  Floats only appear at the export
+    edge (:attr:`total`, :attr:`mean`, :meth:`to_dict`).
+    """
+
+    __slots__ = ("count", "_total", "minimum", "maximum")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._total = Fraction(0)
+        self.minimum = float("inf")
+        self.maximum = float("-inf")
+
+    @property
+    def total(self) -> float:
+        """Summed duration (s), as a float."""
+        return float(self._total)
 
     @property
     def mean(self) -> float:
         """Mean duration, or NaN when empty."""
-        return self.total / self.count if self.count else float("nan")
+        if not self.count:
+            return float("nan")
+        return float(self._total / self.count)
 
     def add(self, duration: float) -> None:
         self.count += 1
-        self.total += duration
+        self._total += Fraction(duration)
         self.minimum = min(self.minimum, duration)
         self.maximum = max(self.maximum, duration)
 
     def merge(self, other: "SpanStats") -> None:
         self.count += other.count
-        self.total += other.total
+        self._total += other._total
         self.minimum = min(self.minimum, other.minimum)
         self.maximum = max(self.maximum, other.maximum)
 
@@ -89,6 +117,22 @@ class SpanStats:
             "max_s": self.maximum if self.count else None,
             "mean_s": self.mean if self.count else None,
         }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SpanStats":
+        """Rebuild stats serialised by :meth:`to_dict`.
+
+        The float ``total_s`` is re-read exactly, so a round-trip
+        is stable (``from_dict(x.to_dict()).to_dict() ==
+        x.to_dict()``).
+        """
+        stats = cls()
+        stats.count = int(data["count"])
+        stats._total = Fraction(float(data["total_s"]))
+        if stats.count:
+            stats.minimum = float(data["min_s"])
+            stats.maximum = float(data["max_s"])
+        return stats
 
 
 class Span:
@@ -188,7 +232,13 @@ class SpanRecorder:
 
 def merge_span_stats(into: Dict[str, SpanStats],
                      other: Dict[str, SpanStats]) -> None:
-    """Fold *other*'s per-name stats into *into* (in place)."""
-    for name, stats in other.items():
+    """Fold *other*'s per-name stats into *into* (in place).
+
+    Names are folded in sorted order so the fold is independent of
+    how *other* was populated (per-name merges are exact, so this
+    is belt and braces -- but DET003 asks for it and it costs one
+    sort).
+    """
+    for name, stats in sorted(other.items()):
         mine = into.setdefault(name, SpanStats())
         mine.merge(stats)

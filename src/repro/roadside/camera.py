@@ -16,6 +16,9 @@ from typing import Callable, List, Optional, Tuple
 
 from repro.sim.kernel import Simulator
 
+#: The ZED 2's horizontal field of view, as mounted in the paper.
+_DEFAULT_FOV = math.radians(90.0)
+
 
 @dataclasses.dataclass
 class SceneObject:
@@ -72,7 +75,7 @@ class RoadsideCamera:
         facing: float,
         publish: Callable[[CameraFrame], None],
         fps: float = 15.0,
-        fov: float = math.radians(90.0),
+        fov: float = _DEFAULT_FOV,
         max_range: float = 12.0,
         enabled: bool = True,
     ):

@@ -30,6 +30,9 @@ from repro.sim.randomness import RandomStreams
 
 EventHook = Callable[[str, Dict[str, Any]], None]
 
+#: The road-side ZED camera's horizontal field of view.
+_DEFAULT_CAMERA_FOV = math.radians(90.0)
+
 
 class EdgeNode:
     """Camera + detector + hazard service, bound to an RSU."""
@@ -42,7 +45,7 @@ class EdgeNode:
         camera_position: Tuple[float, float] = (0.0, 0.0),
         camera_facing: float = 0.0,
         camera_fps: float = 15.0,
-        camera_fov: float = math.radians(90.0),
+        camera_fov: float = _DEFAULT_CAMERA_FOV,
         name: str = "edge",
         ntp: Optional[NtpModel] = None,
         yolo_config: Optional[YoloConfig] = None,

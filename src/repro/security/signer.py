@@ -11,7 +11,7 @@ what security would add to the end-to-end latency budget.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional
 
 import numpy as np
 

@@ -19,6 +19,9 @@ from repro.vehicle.dynamics import VehicleDynamics
 from repro.vehicle.track import Track
 from repro.vision.image import LineViewConfig, render_line_view
 
+#: Forward half-plane sweep of the on-board LiDAR.
+_DEFAULT_LIDAR_FOV = math.radians(180.0)
+
 
 @dataclasses.dataclass(frozen=True)
 class CameraFrame:
@@ -101,7 +104,7 @@ class Lidar:
         walls: Optional[Callable[[], List[Tuple[Tuple[float, float],
                                                Tuple[float, float]]]]] = None,
         rate_hz: float = 10.0,
-        fov: float = math.radians(180.0),
+        fov: float = _DEFAULT_LIDAR_FOV,
         beams: int = 37,
         max_range: float = 10.0,
         noise_std: float = 0.01,

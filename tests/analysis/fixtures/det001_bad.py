@@ -1,0 +1,21 @@
+"""DET001 positive fixture: global / unseeded randomness."""
+
+import random
+
+import numpy as np
+
+TOKEN = random.random()
+SHARED_RNG = np.random.default_rng(1234)
+
+
+def jitter():
+    return random.gauss(0.0, 1.0)
+
+
+def make_rng():
+    return np.random.default_rng()
+
+
+def shuffle_population(population):
+    np.random.shuffle(population)
+    return population

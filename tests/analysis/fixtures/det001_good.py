@@ -1,0 +1,11 @@
+"""DET001 negative fixture: explicitly seeded, per-run randomness."""
+
+import numpy as np
+
+
+def make_rng(seed):
+    return np.random.default_rng(seed)
+
+
+def jitter(rng):
+    return rng.normal(0.0, 1.0)

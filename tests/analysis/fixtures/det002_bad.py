@@ -1,0 +1,16 @@
+"""DET002 positive fixture: wall-clock reads in simulated code."""
+
+import time
+from datetime import datetime
+
+
+def stamp():
+    return time.time()
+
+
+def tick():
+    return time.monotonic()
+
+
+def born():
+    return datetime.now()

@@ -1,0 +1,13 @@
+"""DET002 negative fixture: only duration profiling, no wall reads."""
+
+from time import perf_counter
+
+
+def measure(work):
+    begin = perf_counter()
+    work()
+    return perf_counter() - begin
+
+
+def simulated_now(sim):
+    return sim.now

@@ -1,0 +1,18 @@
+"""DET003 positive fixture: unsorted iteration feeding output."""
+
+
+def to_dict(stats):
+    return {name: value for name, value in stats.items()}
+
+
+def merge(into, other):
+    for name in other.keys():
+        into[name] = other[name]
+    return into
+
+
+def collect(devices):
+    out = []
+    for device in {name.lower() for name in devices}:
+        out.append(device)
+    return out

@@ -1,0 +1,25 @@
+"""DET003 negative fixture: canonical paths iterate sorted."""
+
+
+def to_dict(stats):
+    return {name: value for name, value in sorted(stats.items())}
+
+
+def merge(into, other):
+    for name in sorted(other.keys()):
+        into[name] = other[name]
+    return into
+
+
+def collect(devices):
+    unique = {name.lower() for name in devices}
+    return [device for device in sorted(unique)]
+
+
+def tally(records):
+    # Mapping views outside canonical functions are fine: order
+    # never reaches serialisation here.
+    total = 0
+    for value in records.values():
+        total += value
+    return total

@@ -1,0 +1,25 @@
+"""DET004 positive fixture: float accumulator folded by merge()."""
+
+
+class LatencyStats:
+    def __init__(self):
+        self.count = 0
+        self.total = 0.0
+
+    def add(self, value):
+        self.count += 1
+        self.total += value
+
+    def merge(self, other):
+        self.count += other.count
+        self.total += other.total
+
+    def to_dict(self):
+        return {"count": self.count, "total": self.total}
+
+    @classmethod
+    def from_dict(cls, data):
+        stats = cls()
+        stats.count = data["count"]
+        stats.total = data["total"]
+        return stats

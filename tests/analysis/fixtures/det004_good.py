@@ -1,0 +1,27 @@
+"""DET004 negative fixture: exact (Fraction/int) mergeable state."""
+
+from fractions import Fraction
+
+
+class LatencyStats:
+    def __init__(self):
+        self.count = 0
+        self._total = Fraction(0)
+
+    def add(self, value):
+        self.count += 1
+        self._total += Fraction(value)
+
+    def merge(self, other):
+        self.count += other.count
+        self._total += other._total
+
+    def to_dict(self):
+        return {"count": self.count, "total": float(self._total)}
+
+    @classmethod
+    def from_dict(cls, data):
+        stats = cls()
+        stats.count = data["count"]
+        stats._total = Fraction(data["total"])
+        return stats

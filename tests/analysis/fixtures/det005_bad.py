@@ -1,0 +1,16 @@
+"""DET005 positive fixture: seam used without a None guard."""
+
+
+class Medium:
+    def __init__(self):
+        self.obs = None
+        self.impairment = None
+
+    def transmit(self, frame):
+        self.obs.count("phy.tx")
+        return frame
+
+    def deliver(self, frame, now):
+        if self.impairment(frame, now):
+            return None
+        return frame

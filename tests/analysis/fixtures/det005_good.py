@@ -1,0 +1,18 @@
+"""DET005 negative fixture: the no-op-when-unset seam pattern."""
+
+
+class Medium:
+    def __init__(self):
+        self.obs = None
+        self.impairment = None
+
+    def transmit(self, frame):
+        obs = self.obs
+        if obs is not None:
+            obs.count("phy.tx")
+        return frame
+
+    def deliver(self, frame, now):
+        if self.impairment is not None and self.impairment(frame, now):
+            return None
+        return frame

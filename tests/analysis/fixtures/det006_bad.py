@@ -1,0 +1,9 @@
+"""DET006 positive fixture: one-way serialisation."""
+
+
+class Verdict:
+    def __init__(self, label):
+        self.label = label
+
+    def to_dict(self):
+        return {"label": self.label}

@@ -1,0 +1,13 @@
+"""DET006 negative fixture: serialisation round-trips."""
+
+
+class Verdict:
+    def __init__(self, label):
+        self.label = label
+
+    def to_dict(self):
+        return {"label": self.label}
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(label=data["label"])

@@ -1,0 +1,15 @@
+"""DET007 positive fixture: environment-dependent formatting."""
+
+import locale
+import os
+
+
+def banner():
+    user = os.environ["USER"]
+    shell = os.getenv("SHELL", "/bin/sh")
+    return f"{user}@{shell}"
+
+
+def pretty(moment):
+    locale.setlocale(locale.LC_ALL, "")
+    return moment.strftime("%c")

@@ -1,0 +1,12 @@
+"""DET007 negative fixture: canonical, host-independent output."""
+
+import json
+
+
+def render(payload):
+    return json.dumps(payload, sort_keys=True)
+
+
+def pretty(seconds):
+    millis = int(round(seconds * 1000.0))
+    return f"{millis} ms"

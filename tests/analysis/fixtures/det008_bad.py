@@ -1,0 +1,14 @@
+"""DET008 positive fixture: unpicklable pool submissions."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def run_all(seeds):
+    with ProcessPoolExecutor() as pool:
+        def run_one(seed):
+            return seed * 2
+
+        doubled = [pool.submit(lambda seed=seed: seed * 2)
+                   for seed in seeds]
+        tripled = [pool.submit(run_one, seed) for seed in seeds]
+    return doubled + tripled

@@ -1,0 +1,13 @@
+"""DET008 negative fixture: module-level callables cross the pool."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def run_one(seed):
+    return seed * 2
+
+
+def run_all(seeds):
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(run_one, seed) for seed in seeds]
+    return [future.result() for future in futures]

@@ -1,0 +1,77 @@
+"""Baseline mechanics: grandfathering, round-trip, CLI flags."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.cli import main
+from repro.analysis.findings import Finding
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+
+
+def _finding(line: int = 3, snippet: str = "x = time.time()",
+             rule: str = "DET002") -> Finding:
+    return Finding(rule=rule, path="pkg/mod.py", line=line,
+                   column=12, message="wall-clock call",
+                   snippet=snippet)
+
+
+class TestBaseline:
+    def test_filter_splits_new_from_grandfathered(self):
+        old = _finding()
+        new = _finding(line=9, snippet="y = time.monotonic()")
+        baseline = Baseline.from_findings([old])
+        kept, grandfathered = baseline.filter([old, new])
+        assert kept == [new]
+        assert grandfathered == [old]
+
+    def test_fingerprint_survives_line_moves(self):
+        # Same rule+path+snippet on a different line is still the
+        # same grandfathered finding (baselines do not rot when
+        # unrelated lines are inserted above).
+        recorded = _finding(line=3)
+        moved = _finding(line=31)
+        baseline = Baseline.from_findings([recorded])
+        kept, grandfathered = baseline.filter([moved])
+        assert kept == []
+        assert grandfathered == [moved]
+
+    def test_roundtrip_through_disk(self, tmp_path):
+        path = str(tmp_path / "baseline.json")
+        baseline = Baseline.from_findings(
+            [_finding(), _finding(line=9, snippet="z = 1")])
+        baseline.save(path)
+        again = Baseline.load(path)
+        assert again.to_dict() == baseline.to_dict()
+
+    def test_wrong_format_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"format": 99, "entries": {}}))
+        with pytest.raises(ValueError):
+            Baseline.load(str(path))
+
+
+class TestBaselineCli:
+    def test_write_then_use_baseline_gates_clean(self, tmp_path,
+                                                 capsys):
+        bad = os.path.join(FIXTURES, "det006_bad.py")
+        baseline = str(tmp_path / "baseline.json")
+        assert main([bad, "--write-baseline", baseline]) == 0
+        capsys.readouterr()
+        # With the baseline the same tree gates clean...
+        assert main([bad, "--baseline", baseline]) == 0
+        out = capsys.readouterr().out
+        assert "grandfathered" in out
+        # ...and without it the finding still gates.
+        assert main([bad]) == 1
+        capsys.readouterr()
+
+    def test_missing_baseline_file_is_usage_error(self, tmp_path):
+        bad = os.path.join(FIXTURES, "det006_bad.py")
+        with pytest.raises(SystemExit):
+            main([bad, "--baseline", str(tmp_path / "nope.json")])

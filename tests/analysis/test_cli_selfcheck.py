@@ -1,0 +1,94 @@
+"""CLI surfaces and the self-check: ``detlint src/`` gates clean."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.analysis.cli import main as detlint_main
+from repro.analysis.engine import lint_paths
+from repro.cli import main as repro_main
+
+REPO = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))))
+FIXTURES = os.path.join(REPO, "tests", "analysis", "fixtures")
+
+
+class TestDetlintCli:
+    def test_clean_fixture_exits_zero(self, capsys):
+        good = os.path.join(FIXTURES, "det001_good.py")
+        assert detlint_main([good]) == 0
+        assert "detlint: clean" in capsys.readouterr().out
+
+    def test_bad_fixture_exits_one(self, capsys):
+        bad = os.path.join(FIXTURES, "det006_bad.py")
+        assert detlint_main([bad]) == 1
+        out = capsys.readouterr().out
+        assert "DET006" in out
+        assert "1 finding(s)" in out
+
+    def test_json_format(self, capsys):
+        bad = os.path.join(FIXTURES, "det006_bad.py")
+        assert detlint_main([bad, "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["by_rule"] == {"DET006": 1}
+
+    def test_output_artifact_is_always_json(self, tmp_path, capsys):
+        bad = os.path.join(FIXTURES, "det006_bad.py")
+        artifact = tmp_path / "detlint.json"
+        assert detlint_main([bad, "--output", str(artifact)]) == 1
+        capsys.readouterr()
+        payload = json.loads(artifact.read_text())
+        assert payload["format"] == 1
+        assert payload["summary"]["total"] == 1
+
+    def test_select_flag(self, capsys):
+        assert detlint_main([FIXTURES, "--select", "DET004"]) == 1
+        out = capsys.readouterr().out
+        assert "DET004" in out
+        assert "DET001" not in out
+
+    def test_unknown_rule_is_usage_error(self):
+        with pytest.raises(SystemExit):
+            detlint_main([FIXTURES, "--select", "DET42"])
+
+    def test_list_rules(self, capsys):
+        assert detlint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for index in range(1, 9):
+            assert f"DET00{index}" in out
+
+
+class TestReproTestbedLint:
+    def test_lint_subcommand_clean_fixture(self, capsys):
+        good = os.path.join(FIXTURES, "det002_good.py")
+        assert repro_main(["lint", good]) == 0
+        assert "detlint: clean" in capsys.readouterr().out
+
+    def test_lint_subcommand_bad_fixture(self, capsys):
+        bad = os.path.join(FIXTURES, "det002_bad.py")
+        assert repro_main(["lint", bad]) == 1
+        assert "DET002" in capsys.readouterr().out
+
+
+class TestSelfCheck:
+    def test_src_tree_is_clean_with_no_baseline(self):
+        result = lint_paths([os.path.join(REPO, "src")])
+        assert [f.to_dict() for f in result.findings] == []
+        assert result.grandfathered == []
+        assert result.exit_code == 0
+        assert result.files_checked > 90
+
+    def test_tools_detlint_script(self):
+        script = os.path.join(REPO, "tools", "detlint")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(REPO, "src")
+        proc = subprocess.run(
+            [sys.executable, script, "src/"],
+            cwd=REPO, env=env, capture_output=True, text=True)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "detlint: clean" in proc.stdout

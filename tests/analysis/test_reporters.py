@@ -1,0 +1,114 @@
+"""Golden reporter output: the report bytes are part of the API."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.engine import LintResult
+from repro.analysis.findings import Finding
+from repro.analysis.reporters import (
+    render_json,
+    render_rules_text,
+    render_text,
+)
+from repro.analysis.rules import all_rules
+
+
+def _result() -> LintResult:
+    findings = [
+        Finding(rule="DET002", path="src/pkg/a.py", line=3,
+                column=12, message="wall-clock call time.time()",
+                snippet="return time.time()"),
+        Finding(rule="DET006", path="src/pkg/b.py", line=10,
+                column=1, message="class Row defines to_dict but "
+                "no from_dict", snippet="def to_dict(self):"),
+    ]
+    return LintResult(findings=findings, grandfathered=[],
+                      files_checked=2)
+
+
+GOLDEN_TEXT = (
+    "src/pkg/a.py:3:12: DET002 wall-clock call time.time()\n"
+    "src/pkg/b.py:10:1: DET006 class Row defines to_dict but no "
+    "from_dict\n"
+    "detlint: 2 finding(s) [DET002 x1, DET006 x1] in 2 file(s)\n"
+)
+
+GOLDEN_CLEAN = "detlint: clean (7 file(s) checked)\n"
+
+GOLDEN_JSON = """\
+{
+  "files_checked": 2,
+  "findings": [
+    {
+      "column": 12,
+      "fingerprint": "3e3721920c77e949",
+      "line": 3,
+      "message": "wall-clock call time.time()",
+      "path": "src/pkg/a.py",
+      "rule": "DET002",
+      "snippet": "return time.time()"
+    },
+    {
+      "column": 1,
+      "fingerprint": "adb45098a55f0e39",
+      "line": 10,
+      "message": "class Row defines to_dict but no from_dict",
+      "path": "src/pkg/b.py",
+      "rule": "DET006",
+      "snippet": "def to_dict(self):"
+    }
+  ],
+  "format": 1,
+  "grandfathered": [],
+  "summary": {
+    "by_rule": {
+      "DET002": 1,
+      "DET006": 1
+    },
+    "total": 2
+  }
+}
+"""
+
+
+class TestTextReporter:
+    def test_golden_report(self):
+        assert render_text(_result()) == GOLDEN_TEXT
+
+    def test_golden_clean_report(self):
+        clean = LintResult(findings=[], grandfathered=[],
+                           files_checked=7)
+        assert render_text(clean) == GOLDEN_CLEAN
+
+    def test_grandfathered_note(self):
+        result = _result()
+        result.grandfathered = result.findings[1:]
+        result.findings = result.findings[:1]
+        text = render_text(result)
+        assert "(baseline: 1 grandfathered finding(s) " \
+            "not shown)" in text
+
+
+class TestJsonReporter:
+    def test_golden_report(self):
+        assert render_json(_result()) == GOLDEN_JSON
+
+    def test_report_is_canonical_json(self):
+        blob = render_json(_result())
+        payload = json.loads(blob)
+        assert blob == json.dumps(payload, indent=2,
+                                  sort_keys=True) + "\n"
+        assert payload["summary"]["total"] == 2
+
+    def test_rendering_is_deterministic(self):
+        assert render_json(_result()) == render_json(_result())
+        assert render_text(_result()) == render_text(_result())
+
+
+class TestRuleCatalogue:
+    def test_every_rule_listed(self):
+        text = render_rules_text()
+        for rule in all_rules():
+            assert rule.rule_id in text
+            assert rule.title in text

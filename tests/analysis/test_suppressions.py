@@ -1,0 +1,91 @@
+"""Suppression grammar: silencing, typos, stale escapes."""
+
+from __future__ import annotations
+
+from repro.analysis.engine import lint_source
+
+WALLCLOCK = ("import time\n"
+             "def stamp():\n"
+             "    return time.time()"
+             "  # detlint: ignore[DET002] -- test clock\n")
+
+
+class TestSuppressing:
+    def test_valid_suppression_silences_the_finding(self):
+        assert lint_source(WALLCLOCK, "x.py") == []
+
+    def test_suppression_is_line_local(self):
+        source = ("import time\n"
+                  "# detlint: ignore[DET002] -- wrong line\n"
+                  "def stamp():\n"
+                  "    return time.time()\n")
+        rules = [f.rule for f in lint_source(source, "x.py")]
+        # The finding survives and the suppression reports unused.
+        assert rules == ["DET000", "DET002"]
+
+    def test_multi_rule_suppression(self):
+        source = ("import time\n"
+                  "def merge(stats, other):\n"
+                  "    for k in other.keys():"
+                  "  # detlint: ignore[DET002,DET003] -- fixture\n"
+                  "        stats[k] = time.time()\n")
+        rules = [f.rule for f in lint_source(source, "x.py")]
+        # DET003 on the loop line is silenced; the DET002 on the
+        # next line is not (the suppression is line-local).
+        assert rules == ["DET002"]
+
+    def test_wrong_rule_id_does_not_silence(self):
+        source = ("import time\n"
+                  "def stamp():\n"
+                  "    return time.time()"
+                  "  # detlint: ignore[DET001] -- wrong rule\n")
+        rules = sorted(f.rule for f in lint_source(source, "x.py"))
+        assert rules == ["DET000", "DET002"]
+
+
+class TestMalformed:
+    def test_missing_reason_is_det000(self):
+        source = ("import time\n"
+                  "def stamp():\n"
+                  "    return time.time()"
+                  "  # detlint: ignore[DET002]\n")
+        rules = sorted(f.rule for f in lint_source(source, "x.py"))
+        assert rules == ["DET000", "DET002"]
+
+    def test_bad_rule_id_is_det000(self):
+        source = ("def f():\n"
+                  "    pass  # detlint: ignore[DETX] -- nope\n")
+        findings = lint_source(source, "x.py")
+        assert [f.rule for f in findings] == ["DET000"]
+        assert "invalid rule id" in findings[0].message
+
+    def test_typo_missing_colon_is_det000(self):
+        source = ("def f():\n"
+                  "    pass  # detlint ignore[DET002] -- typo\n")
+        findings = lint_source(source, "x.py")
+        assert [f.rule for f in findings] == ["DET000"]
+        assert "unparsable" in findings[0].message
+
+    def test_suppression_in_docstring_is_inert(self):
+        source = ('def f():\n'
+                  '    """Use # detlint: ignore[DET002] -- like '
+                  'this."""\n'
+                  '    return 1\n')
+        assert lint_source(source, "x.py") == []
+
+
+class TestUnused:
+    def test_unused_suppression_reported(self):
+        source = ("def f():\n"
+                  "    return 1"
+                  "  # detlint: ignore[DET002] -- stale\n")
+        findings = lint_source(source, "x.py")
+        assert [f.rule for f in findings] == ["DET000"]
+        assert "unused suppression" in findings[0].message
+
+    def test_unused_reporting_can_be_disabled(self):
+        source = ("def f():\n"
+                  "    return 1"
+                  "  # detlint: ignore[DET002] -- stale\n")
+        assert lint_source(source, "x.py",
+                           warn_suppressions=False) == []

@@ -1,10 +1,9 @@
 """Tests for the Collective Perception Message and CP service."""
 
-import numpy as np
 import pytest
 
 from repro.facilities import ItsStation, ObjectKind
-from repro.facilities.cp_service import CPM_PORT, CpConfig, CpService
+from repro.facilities.cp_service import CpConfig, CpService
 from repro.geonet import LocalFrame
 from repro.messages import ReferencePosition, StationType
 from repro.messages.cpm import Cpm, PerceivedObject
@@ -98,8 +97,10 @@ def build_cp_pair(provider, rate=5.0, seed=3):
 
 class TestCpService:
     def test_objects_reach_receiver_ldm(self):
-        provider = lambda: [PerceivedObject(
-            7, x_offset=2.0, y_offset=3.0, y_speed=-1.0)]
+        def provider():
+            return [PerceivedObject(
+                7, x_offset=2.0, y_offset=3.0, y_speed=-1.0)]
+
         sim, sender, receiver, vehicle = build_cp_pair(provider)
         sim.run_until(1.0)
         assert sender.cpms_sent >= 4
@@ -121,7 +122,9 @@ class TestCpService:
         assert receiver.cpms_received == 0
 
     def test_rate_respected(self):
-        provider = lambda: [PerceivedObject(1, 1.0, 1.0)]
+        def provider():
+            return [PerceivedObject(1, 1.0, 1.0)]
+
         sim, sender, receiver, vehicle = build_cp_pair(provider,
                                                        rate=2.0)
         sim.run_until(3.05)
@@ -142,7 +145,9 @@ class TestCpService:
         assert vehicle.ldm.get("cpm:900:7") is None
 
     def test_callback_invoked(self):
-        provider = lambda: [PerceivedObject(1, 1.0, 1.0)]
+        def provider():
+            return [PerceivedObject(1, 1.0, 1.0)]
+
         sim, sender, receiver, vehicle = build_cp_pair(provider)
         got = []
         receiver.on_cpm(lambda cpm: got.append(cpm.station_id))

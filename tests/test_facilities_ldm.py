@@ -1,7 +1,7 @@
 """Tests for the Local Dynamic Map."""
 
 from repro.facilities import Ldm, LdmObject, ObjectKind
-from repro.geonet import CircularArea, GeoPosition, LocalFrame
+from repro.geonet import CircularArea, LocalFrame
 from repro.sim import Simulator
 
 FRAME = LocalFrame()

@@ -1,16 +1,9 @@
 """Tests for the CA and DEN basic services and the ITS station."""
 
-import numpy as np
 import pytest
 
-from repro.facilities import (
-    CaConfig,
-    DenConfig,
-    ItsStation,
-    ObjectKind,
-    StationState,
-)
-from repro.geonet import CircularArea, GeoPosition, LocalFrame
+from repro.facilities import CaConfig, ItsStation, ObjectKind, StationState
+from repro.geonet import CircularArea, LocalFrame
 from repro.messages import ActionId, Denm, ReferencePosition, StationType
 from repro.net import WirelessMedium
 from repro.net.propagation import LinkBudget, LogDistancePathLoss
@@ -29,10 +22,10 @@ def build_stations(count=2, spacing=5.0, enable_cam=True, ca_config=None,
     mobile = mobile or {}
     stations = []
     for index in range(count):
-        if index in mobile:
-            position = mobile[index]
-        else:
-            position = (lambda x=index * spacing: FRAME.to_geo(x, 0.0))
+        def fixed_position(x=index * spacing):
+            return FRAME.to_geo(x, 0.0)
+
+        position = mobile.get(index, fixed_position)
         stations.append(ItsStation(
             sim, medium, streams, f"st{index}", 100 + index,
             StationType.PASSENGER_CAR,

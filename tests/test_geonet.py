@@ -1,6 +1,5 @@
 """Tests for GeoNetworking: positions, location table, BTP, router."""
 
-import math
 
 import numpy as np
 import pytest
@@ -373,8 +372,6 @@ class TestGeoUnicast:
         """Everyone learns everyone via direct + forwarded knowledge:
         SHB rounds populate one-hop neighbours; the destination's
         vector spreads by a GBC flood."""
-        frame = LocalFrame()
-
         # Stagger per station: at this low power the stations cannot
         # carrier-sense each other, so synchronised sends would simply
         # collide at every receiver.

@@ -1,10 +1,9 @@
 """Tests for the GLOSA advisor and cycle estimator."""
 
-import math
 
 import pytest
 
-from repro.facilities.glosa import CycleEstimator, GlosaAdvice, advise
+from repro.facilities.glosa import CycleEstimator, advise
 from repro.messages.spat import MovementState
 
 

@@ -1,10 +1,7 @@
 """Integration tests: the full emergency-braking testbed, the
 blind-corner use-case and the platoon extension."""
 
-import dataclasses
-import math
 
-import numpy as np
 import pytest
 
 from repro.core import (
@@ -42,7 +39,7 @@ class TestEmergencyBrakeRun:
 
     def test_detection_happens_at_or_after_action_point(self):
         testbed = ScaleTestbed(EmergencyBrakeScenario(seed=99))
-        measurement = testbed.run()
+        testbed.run()
         ap = testbed.timeline.get(Steps.ACTION_POINT)
         detection = testbed.timeline.get(Steps.DETECTION)
         assert detection.sim_time >= ap.sim_time
@@ -315,7 +312,7 @@ class TestPlatoonStringStability:
 
         scenario = PlatoonScenario(members=4, seed=2)
         testbed = PlatoonTestbed(scenario)
-        result = testbed.run(warning_after=2.0)
+        testbed.run(warning_after=2.0)
         positions = [member.outcome.stop_position
                      for member in testbed.members]
         # Stopped in convoy order, leader nearest the RSU (origin).

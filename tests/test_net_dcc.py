@@ -1,7 +1,6 @@
 """Tests for Decentralized Congestion Control (reactive DCC)."""
 
 import numpy as np
-import pytest
 
 from repro.net import (
     AccessCategory,
@@ -99,7 +98,6 @@ class TestGatekeeper:
     def test_gate_enforces_t_off(self):
         sim, medium, nic, _ = build_nic()
         gate = DccGatekeeper(sim, nic)
-        received = []
         # Track when our frames leave via the mac counter timeline.
         sends = []
         original = nic.send

@@ -9,13 +9,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.latency import bootstrap_mean_ci
-from repro.net import (
-    AccessCategory,
-    Frame,
-    NetworkInterface,
-    PhyConfig,
-    WirelessMedium,
-)
+from repro.net import AccessCategory, Frame, NetworkInterface, WirelessMedium
 from repro.net.propagation import (
     LinkBudget,
     LogDistancePathLoss,
@@ -79,7 +73,7 @@ class TestMediumConservation:
                              rng=np.random.default_rng(seed + 2))
         got = []
         b.on_receive(lambda f, info: got.append(f.frame_id))
-        for k in range(10):
+        for _ in range(10):
             sim.schedule(0.0, lambda: a.send(Frame(
                 payload=b"x", size=60, source="a",
                 category=AccessCategory.AC_VO)))

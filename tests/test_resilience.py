@@ -3,8 +3,6 @@ partial-system failures."""
 
 import dataclasses
 
-import numpy as np
-import pytest
 
 from repro.core.measurement import Steps
 from repro.core.scenario import EmergencyBrakeScenario

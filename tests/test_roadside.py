@@ -13,7 +13,6 @@ from repro.roadside import (
     RoadsideCamera,
     SceneObject,
     SimulatedYolo,
-    YoloConfig,
 )
 from repro.roadside.camera import VisibleObject
 from repro.roadside.hazard_service import (

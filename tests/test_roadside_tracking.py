@@ -1,6 +1,5 @@
 """Tests for the edge Kalman tracker and the predictive hazard mode."""
 
-import math
 
 import numpy as np
 import pytest

@@ -1,7 +1,6 @@
 """Unit tests for device clocks and random streams."""
 
 import numpy as np
-import pytest
 
 from repro.sim import DeviceClock, NtpModel, RandomStreams, Simulator
 

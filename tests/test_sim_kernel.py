@@ -5,7 +5,6 @@ import math
 import pytest
 
 from repro.sim import Simulator, SimulationError
-from repro.sim.kernel import Event
 
 
 def test_time_starts_at_zero():

@@ -1,11 +1,9 @@
 """Tests for SPATEM/MAPEM messages and the traffic-light services."""
 
-import numpy as np
 import pytest
 
 from repro.facilities import ItsStation, ObjectKind
 from repro.facilities.traffic_light import (
-    SignalPhase,
     SignalPhaseService,
     TrafficLightController,
     two_phase_plan,

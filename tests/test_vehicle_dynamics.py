@@ -2,7 +2,6 @@
 
 import math
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -14,7 +13,6 @@ from repro.vehicle import (
     StraightTrack,
     VehicleDynamics,
     VehicleParams,
-    VehicleState,
 )
 
 

@@ -13,13 +13,11 @@ from repro.vehicle import (
     ActuationPath,
     ControlModule,
     MessageHandler,
-    MotionPlanner,
     RoboticVehicle,
     RosGraph,
     VehicleDynamics,
     VehicleState,
 )
-from repro.vehicle.control import ActuationConfig
 from repro.vehicle.ros import RosConfig
 from repro.vehicle.sensors import Imu, Lidar, ZedCamera
 from repro.vehicle.track import StraightTrack
