@@ -107,8 +107,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="detlint",
         description="AST determinism linter for the repro testbed "
-                    "(rules DET001..DET008; see ARCHITECTURE.md "
-                    "§10)")
+                    "(per-file rules DET001..DET008, project rules "
+                    "SCH001..SCH003; see ARCHITECTURE.md §10-§11)")
     add_arguments(parser)
     return run(parser.parse_args(argv))
 

@@ -3,12 +3,14 @@
 :func:`lint_paths` is the single entry point used by the CLI, the
 ``tools/detlint`` script and the test suite.  It walks the given
 files/directories in sorted order, parses each Python file once,
-runs every selected rule over the shared :class:`ModuleContext`,
-then filters the findings through per-line suppressions and the
-optional baseline.  The result is fully deterministic: findings are
-sorted by (path, line, column, rule) and paths are normalised to
-forward slashes, so the same tree always produces the same report
-bytes on every platform.
+runs every selected per-file rule over the shared
+:class:`ModuleContext`, then runs the *project* rules (the SCH
+family) once over all parsed modules together, and finally filters
+everything through statement-level suppressions and the optional
+baseline.  The result is fully deterministic: findings are sorted by
+(path, line, column, rule) and paths are normalised to forward
+slashes, so the same tree always produces the same report bytes on
+every platform.
 """
 
 from __future__ import annotations
@@ -16,13 +18,26 @@ from __future__ import annotations
 import ast
 import dataclasses
 import os
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.analysis.baseline import Baseline
 from repro.analysis.findings import Finding
-from repro.analysis.rules import Rule, all_rules, build_context, rule_ids
+from repro.analysis.rules import (
+    ModuleContext,
+    Rule,
+    all_rules,
+    build_context,
+    rule_ids,
+)
+from repro.analysis.schedule_rules import (
+    ProjectRule,
+    all_project_rules,
+    check_project_rules,
+    project_rule_ids,
+)
 from repro.analysis.suppressions import (
     META_RULE,
+    Suppression,
     apply_suppressions,
     parse_suppressions,
 )
@@ -99,9 +114,12 @@ def module_name_for(path: str) -> str:
     return ".".join(part for part in parts if part)
 
 
-def _selected_rules(select: Optional[Iterable[str]],
-                    ignore: Optional[Iterable[str]]) -> List[Rule]:
-    known = set(rule_ids())
+def _selected_rules(
+        select: Optional[Iterable[str]],
+        ignore: Optional[Iterable[str]],
+) -> Tuple[List[Rule], List[ProjectRule]]:
+    """(per-file rules, project rules) matching select/ignore."""
+    known = set(rule_ids()) | set(project_rule_ids())
     chosen = set(select) if select else set(known)
     dropped = set(ignore) if ignore else set()
     unknown = sorted((chosen | dropped) - known - {META_RULE})
@@ -110,36 +128,76 @@ def _selected_rules(select: Optional[Iterable[str]],
             f"unknown rule id(s): {', '.join(unknown)}; known rules "
             f"are {', '.join(sorted(known))}")
     wanted = chosen - dropped
-    return [rule for rule in all_rules() if rule.rule_id in wanted]
+    file_rules = [rule for rule in all_rules()
+                  if rule.rule_id in wanted]
+    project_rules = [rule for rule in all_project_rules()
+                     if rule.rule_id in wanted]
+    return file_rules, project_rules
+
+
+@dataclasses.dataclass
+class _FileState:
+    """One parsed file's raw findings, pre-suppression."""
+
+    path: str
+    ctx: Optional[ModuleContext]
+    raw: List[Finding]
+    suppressions: Dict[int, Suppression]
+    problems: List[Finding]
+
+
+def _check_file(source: str, path: str,
+                rules: Sequence[Rule]) -> _FileState:
+    """Parse *source* and run the per-file rules over it."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        return _FileState(path=path, ctx=None, raw=[Finding(
+            rule=META_RULE, path=path, line=error.lineno or 1,
+            column=(error.offset or 0) + 1,
+            message=f"syntax error: {error.msg}",
+            snippet=(error.text or "").strip())],
+            suppressions={}, problems=[])
+    ctx = build_context(path, module_name_for(path), source, tree)
+    raw: List[Finding] = []
+    for rule in rules:
+        if rule.exempt(ctx):
+            continue
+        raw.extend(rule.check(ctx))
+    suppressions, problems = parse_suppressions(source, path)
+    return _FileState(path=path, ctx=ctx, raw=raw,
+                      suppressions=suppressions, problems=problems)
+
+
+def _finalise(state: _FileState, extra: Sequence[Finding],
+              warn_suppressions: bool,
+              active_rules: Optional[set] = None) -> List[Finding]:
+    """Apply suppressions to per-file plus project findings."""
+    if state.ctx is None:
+        return sorted(state.raw, key=Finding.sort_key)
+    kept, unused = apply_suppressions(
+        state.raw + list(extra), state.suppressions, state.path,
+        state.ctx.lines, state.ctx.tree, active_rules)
+    findings = kept + state.problems
+    if warn_suppressions:
+        findings += unused
+    return sorted(findings, key=Finding.sort_key)
 
 
 def lint_source(source: str, path: str,
                 rules: Optional[Sequence[Rule]] = None,
                 warn_suppressions: bool = True,
                 ) -> List[Finding]:
-    """Lint one in-memory source text (the unit-test entry point)."""
+    """Lint one in-memory source text (the unit-test entry point).
+
+    Runs the per-file rules only; project rules need the whole tree
+    and run in :func:`lint_paths`.
+    """
     path = normalise_path(path)
-    try:
-        tree = ast.parse(source, filename=path)
-    except SyntaxError as error:
-        return [Finding(
-            rule=META_RULE, path=path, line=error.lineno or 1,
-            column=(error.offset or 0) + 1,
-            message=f"syntax error: {error.msg}",
-            snippet=(error.text or "").strip())]
-    ctx = build_context(path, module_name_for(path), source, tree)
-    raw: List[Finding] = []
-    for rule in (rules if rules is not None else all_rules()):
-        if rule.exempt(ctx):
-            continue
-        raw.extend(rule.check(ctx))
-    suppressions, problems = parse_suppressions(source, path)
-    kept, unused = apply_suppressions(raw, suppressions, path,
-                                      ctx.lines)
-    findings = kept + problems
-    if warn_suppressions:
-        findings += unused
-    return sorted(findings, key=Finding.sort_key)
+    active = rules if rules is not None else all_rules()
+    state = _check_file(source, path, active)
+    return _finalise(state, (), warn_suppressions,
+                     {rule.rule_id for rule in active})
 
 
 def lint_paths(paths: Sequence[str],
@@ -153,16 +211,29 @@ def lint_paths(paths: Sequence[str],
     *select* / *ignore* narrow the rule set by id; *baseline*
     subtracts grandfathered findings (they are still reported, as
     informational).  Unknown rule ids raise ValueError.
+
+    Per-file rules run first, file by file; then the project rules
+    (SCH family) run once over every successfully parsed module.
+    Suppressions are applied *after* both passes, so a suppression
+    comment can silence a project finding and unused-suppression
+    accounting sees the complete picture.
     """
-    rules = _selected_rules(select, ignore)
+    file_rules, project_rules = _selected_rules(select, ignore)
     files = discover_files(paths)
-    findings: List[Finding] = []
+    states: List[_FileState] = []
     for path in files:
         with open(path, "r", encoding="utf-8") as handle:
             source = handle.read()
-        findings.extend(lint_source(
-            source, path, rules=rules,
-            warn_suppressions=warn_suppressions))
+        states.append(_check_file(source, path, file_rules))
+    contexts = [s.ctx for s in states if s.ctx is not None]
+    grouped = check_project_rules(tuple(project_rules), contexts)
+    active = {rule.rule_id for rule in file_rules} \
+        | {rule.rule_id for rule in project_rules}
+    findings: List[Finding] = []
+    for state in states:
+        findings.extend(_finalise(
+            state, grouped.get(state.path, []), warn_suppressions,
+            active))
     findings.sort(key=Finding.sort_key)
     grandfathered: List[Finding] = []
     if baseline is not None:

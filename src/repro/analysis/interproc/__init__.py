@@ -1,0 +1,64 @@
+"""Shared interprocedural layer for project-wide rules.
+
+Per-file rules (``repro.analysis.rules``) see one
+:class:`~repro.analysis.rules.ModuleContext` at a time; anything that
+depends on *who calls whom* -- reachability, taint that crosses
+function boundaries, pairs of schedule sites owned by different
+components -- needs a project-wide view.  This package provides it in
+three deterministic layers, each built once per lint invocation:
+
+``symbols``
+    A project symbol table: every function, class (with methods and
+    literal class-level constants) and module-level numeric constant,
+    keyed by dotted qualified name.
+
+``callgraph``
+    A call graph over those symbols.  Direct calls resolve through
+    the import table; method calls resolve through ``self``, through
+    annotated parameters/attributes and through constructor
+    assignments (``self.x = ClassName(...)``); callables passed as
+    arguments (scheduler callbacks, ``publish=`` hooks) become
+    reference edges so reachability follows callbacks.
+
+``dataflow``
+    A small forward dataflow over delay expressions: a
+    ``schedule(delay, cb)`` argument folds to a literal, a named
+    constant, a tainted value (wall clock / unseeded randomness,
+    found transitively through the call graph) or unknown.
+
+Everything is pure AST analysis -- no imports of the linted code --
+and every container iterates in sorted order, so the same tree always
+produces the same findings bytes (the repo-wide determinism bar the
+linter itself is held to).
+"""
+
+from repro.analysis.interproc.callgraph import CallGraph, build_call_graph
+from repro.analysis.interproc.dataflow import (
+    DelayValue,
+    evaluate_delay,
+    tainted_functions,
+)
+from repro.analysis.interproc.project import ProjectContext, build_project
+from repro.analysis.interproc.sites import ScheduleSite, collect_schedule_sites
+from repro.analysis.interproc.symbols import (
+    ClassSymbol,
+    FunctionSymbol,
+    SymbolTable,
+    build_symbol_table,
+)
+
+__all__ = [
+    "CallGraph",
+    "ClassSymbol",
+    "DelayValue",
+    "FunctionSymbol",
+    "ProjectContext",
+    "ScheduleSite",
+    "SymbolTable",
+    "build_call_graph",
+    "build_project",
+    "build_symbol_table",
+    "collect_schedule_sites",
+    "evaluate_delay",
+    "tainted_functions",
+]

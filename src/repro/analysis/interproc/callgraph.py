@@ -1,0 +1,335 @@
+"""Call graph over the project symbol table.
+
+Edges are resolved statically, without importing the analysed code:
+
+* direct calls (``helper(...)``) through the module's import table
+  and its own definitions;
+* ``self.method(...)`` through the enclosing class and its bases;
+* ``obj.method(...)`` through the inferred type of ``obj`` --
+  parameter annotations, ``self.attr`` constructor assignments
+  (``self.edge = EdgeNode(...)``) and annotated attributes;
+* bare callables passed as arguments (``schedule(dt, self._tick)``,
+  ``publish=self._on_scan``) become *reference* edges: the callee is
+  not called at that statement, but anything reachable can invoke it
+  later, which is exactly what reachability must follow in an
+  event-driven codebase.
+
+Resolution is deliberately conservative: an unresolvable receiver
+contributes no edge (never a guessed one), except for the
+seam-naming convention ``sim`` / ``self.sim`` -> the DES kernel's
+``Simulator``, which the whole testbed codebase follows.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.interproc.symbols import (
+    ClassSymbol,
+    FunctionSymbol,
+    SymbolTable,
+)
+from repro.analysis.rules import ModuleContext
+
+#: The receiver-name convention for the DES kernel seam: a local or
+#: attribute called ``sim`` is the Simulator in this codebase.
+SIMULATOR_QNAME = "repro.sim.kernel.Simulator"
+
+
+@dataclasses.dataclass
+class CallGraph:
+    """caller qname -> sorted callee qnames (calls and references)."""
+
+    edges: Dict[str, Tuple[str, ...]]
+    #: Functions referenced as callbacks anywhere (handed to a
+    #: scheduler, a publish hook, a constructor...).
+    callback_targets: Set[str]
+
+    def callees(self, qname: str) -> Tuple[str, ...]:
+        """Direct callees of *qname* (empty for unknown names)."""
+        return self.edges.get(qname, ())
+
+    def reachable(self, roots: List[str]) -> Set[str]:
+        """Every qname reachable from *roots* along edges."""
+        seen: Set[str] = set()
+        stack = sorted(roots)
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            stack.extend(self.edges.get(current, ()))
+        return seen
+
+
+class _FunctionResolver:
+    """Resolves call/reference targets inside one function body."""
+
+    def __init__(self, table: SymbolTable, ctx: ModuleContext,
+                 symbol: FunctionSymbol):
+        self.table = table
+        self.ctx = ctx
+        self.symbol = symbol
+        self.cls: Optional[ClassSymbol] = None
+        if symbol.cls is not None:
+            self.cls = table.classes.get(f"{ctx.module}.{symbol.cls}")
+        #: local name -> class qname (annotated params, local ctors).
+        self.local_types: Dict[str, str] = {}
+        #: ``self.attr`` -> class qname (from every method's ctor
+        #: assignments, gathered class-wide so any method sees them).
+        self.attr_types: Dict[str, str] = {}
+        self._seed_types()
+
+    # -- type seeding --------------------------------------------------
+
+    def _seed_types(self) -> None:
+        node = self.symbol.node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for arg in (list(node.args.args)
+                        + list(node.args.kwonlyargs)):
+                cls = self._annotation_class(arg.annotation)
+                if cls is not None:
+                    self.local_types[arg.arg] = cls.qname
+            for sub in ast.walk(node):
+                if isinstance(sub, ast.Assign) and \
+                        len(sub.targets) == 1 and \
+                        isinstance(sub.targets[0], ast.Name):
+                    cls = self._constructed_class(sub.value)
+                    if cls is not None:
+                        self.local_types[sub.targets[0].id] = cls.qname
+        elif isinstance(node, ast.Module):
+            # Pseudo-symbol for module-level code: constructor
+            # assignments at the top level type the module globals.
+            for item in node.body:
+                if isinstance(item, ast.Assign) and \
+                        len(item.targets) == 1 and \
+                        isinstance(item.targets[0], ast.Name):
+                    cls = self._constructed_class(item.value)
+                    if cls is not None:
+                        self.local_types[item.targets[0].id] = cls.qname
+        if self.cls is not None:
+            for item in self.cls.node.body:
+                if not isinstance(item, (ast.FunctionDef,
+                                         ast.AsyncFunctionDef)):
+                    continue
+                for sub in ast.walk(item):
+                    if isinstance(sub, ast.Assign) and \
+                            len(sub.targets) == 1 and \
+                            self._is_self_attr(sub.targets[0]):
+                        attr = sub.targets[0].attr  # type: ignore[union-attr]
+                        cls = self._constructed_class(sub.value)
+                        if cls is not None:
+                            self.attr_types.setdefault(attr, cls.qname)
+                    if isinstance(sub, ast.AnnAssign) and \
+                            self._is_self_attr(sub.target):
+                        attr = sub.target.attr  # type: ignore[union-attr]
+                        cls = self._annotation_class(sub.annotation)
+                        if cls is not None:
+                            self.attr_types.setdefault(attr, cls.qname)
+
+    @staticmethod
+    def _is_self_attr(node: ast.expr) -> bool:
+        return (isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self")
+
+    def _annotation_class(self, annotation: Optional[ast.expr]
+                          ) -> Optional[ClassSymbol]:
+        if annotation is None:
+            return None
+        if isinstance(annotation, ast.Constant) and \
+                isinstance(annotation.value, str):
+            name = annotation.value
+        else:
+            name = _dotted_name(annotation) or ""
+        # Unwrap Optional[X] / "X" spellings conservatively.
+        if isinstance(annotation, ast.Subscript):
+            head = _dotted_name(annotation.value) or ""
+            if head.split(".")[-1] == "Optional":
+                inner = annotation.slice
+                return self._annotation_class(inner)
+            return None
+        if not name:
+            return None
+        return self.table.resolve_class(self.ctx.module, name)
+
+    def _constructed_class(self, value: ast.expr
+                           ) -> Optional[ClassSymbol]:
+        if not isinstance(value, ast.Call):
+            return None
+        name = _dotted_name(value.func)
+        if name is None:
+            return None
+        return self.table.resolve_class(self.ctx.module, name)
+
+    # -- receiver typing ----------------------------------------------
+
+    def receiver_class(self, node: ast.expr) -> Optional[str]:
+        """The class qname an expression evaluates to, if inferable."""
+        if isinstance(node, ast.Name):
+            if node.id == "self" and self.cls is not None:
+                return self.cls.qname
+            known = self.local_types.get(node.id)
+            if known is not None:
+                return known
+            if node.id == "sim":
+                return SIMULATOR_QNAME
+            return None
+        if self._is_self_attr(node):
+            attr = node.attr  # type: ignore[union-attr]
+            known = self.attr_types.get(attr)
+            if known is not None:
+                return known
+            if attr == "sim":
+                return SIMULATOR_QNAME
+        return None
+
+    # -- target resolution --------------------------------------------
+
+    def resolve_callable(self, node: ast.expr) -> Optional[str]:
+        """The qname a callable expression refers to, if resolvable."""
+        if isinstance(node, ast.Name):
+            local = f"{self.ctx.module}.{node.id}"
+            if local in self.table.functions:
+                return local
+            if local in self.table.classes:
+                init = self.table.method_in_hierarchy(
+                    self.table.classes[local], "__init__")
+                return init or local
+            origin = self.ctx.imports.get(node.id)
+            if origin is not None and origin in self.table.classes:
+                init = self.table.method_in_hierarchy(
+                    self.table.classes[origin], "__init__")
+                return init or origin
+            # An import whose definition lives outside the linted
+            # tree (fixtures importing the kernel) still resolves to
+            # its dotted origin.
+            return origin
+        if isinstance(node, ast.Attribute):
+            receiver = self.receiver_class(node.value)
+            if receiver is not None:
+                cls = self.table.classes.get(receiver)
+                if cls is not None:
+                    resolved = self.table.method_in_hierarchy(
+                        cls, node.attr)
+                    if resolved is not None:
+                        return resolved
+                if receiver == SIMULATOR_QNAME:
+                    # The kernel itself may sit outside the linted
+                    # tree (fixtures); synthesise the seam qname so
+                    # schedule-site detection still works.
+                    return f"{SIMULATOR_QNAME}.{node.attr}"
+                return None
+            dotted = _dotted_name(node)
+            if dotted is not None:
+                root = dotted.split(".")[0]
+                origin = self.ctx.imports.get(root)
+                if origin is not None:
+                    candidate = origin + dotted[len(root):]
+                    if candidate in self.table.functions:
+                        return candidate
+            # Last resort: a method name defined by exactly one class
+            # project-wide is unambiguous even without receiver type.
+            owners = self.table.methods_by_name.get(node.attr, [])
+            if len(owners) == 1:
+                return owners[0]
+        return None
+
+
+def build_call_graph(table: SymbolTable) -> CallGraph:
+    """Resolve every call and callback reference in *table*."""
+    edges: Dict[str, Set[str]] = {}
+    callback_targets: Set[str] = set()
+    for qname in sorted(table.functions):
+        symbol = table.functions[qname]
+        ctx = table.modules.get(symbol.module)
+        if ctx is None:
+            continue
+        resolver = _FunctionResolver(table, ctx, symbol)
+        out: Set[str] = set()
+        for node, is_call in _callables_in(symbol.node):
+            target = resolver.resolve_callable(node)
+            if target is None:
+                continue
+            out.add(target)
+            if not is_call:
+                callback_targets.add(target)
+        edges[qname] = out
+    # Module-level code gets a pseudo-caller per module.
+    for module in sorted(table.modules):
+        ctx = table.modules[module]
+        pseudo = FunctionSymbol(
+            qname=f"{module}.<module>", module=module,
+            name="<module>", cls=None, node=ctx.tree, path=ctx.path)
+        resolver = _FunctionResolver(table, ctx, pseudo)
+        out = set()
+        for node, is_call in _module_level_callables(ctx.tree):
+            target = resolver.resolve_callable(node)
+            if target is None:
+                continue
+            out.add(target)
+            if not is_call:
+                callback_targets.add(target)
+        edges[pseudo.qname] = out
+    return CallGraph(
+        edges={caller: tuple(sorted(callees))
+               for caller, callees in sorted(edges.items())},
+        callback_targets=callback_targets)
+
+
+def _callables_in(function: ast.AST
+                  ) -> Iterator[Tuple[ast.expr, bool]]:
+    """(callable expression, is-direct-call) pairs in a function.
+
+    Yields the ``func`` of every Call, plus bare Name/Attribute
+    arguments of calls (callback references).  Nested defs belong to
+    their own symbols and are skipped.
+    """
+    body = getattr(function, "body", [])
+    stack: List[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if isinstance(node, ast.Call):
+            yield node.func, True
+            for arg in node.args:
+                if isinstance(arg, (ast.Name, ast.Attribute)):
+                    yield arg, False
+            for keyword in node.keywords:
+                if isinstance(keyword.value, (ast.Name, ast.Attribute)):
+                    yield keyword.value, False
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _module_level_callables(tree: ast.Module
+                            ) -> Iterator[Tuple[ast.expr, bool]]:
+    """Callables used by module-level statements only."""
+    for item in tree.body:
+        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            continue
+        for node in ast.walk(item):
+            if isinstance(node, ast.Call):
+                yield node.func, True
+                for arg in node.args:
+                    if isinstance(arg, (ast.Name, ast.Attribute)):
+                        yield arg, False
+                for keyword in node.keywords:
+                    if isinstance(keyword.value,
+                                  (ast.Name, ast.Attribute)):
+                        yield keyword.value, False
+
+
+def _dotted_name(node: ast.expr) -> Optional[str]:
+    parts: List[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    parts.append(current.id)
+    return ".".join(reversed(parts))

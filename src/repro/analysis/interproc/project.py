@@ -1,0 +1,86 @@
+"""The assembled project view handed to every project rule."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Sequence, Set
+
+from repro.analysis.interproc.callgraph import CallGraph, build_call_graph
+from repro.analysis.interproc.dataflow import tainted_functions
+from repro.analysis.interproc.sites import (
+    ScheduleSite,
+    collect_schedule_sites,
+)
+from repro.analysis.interproc.symbols import SymbolTable, build_symbol_table
+from repro.analysis.rules import ModuleContext
+
+
+@dataclasses.dataclass
+class ProjectContext:
+    """Everything the interprocedural layer knows about one tree."""
+
+    contexts: List[ModuleContext]
+    symbols: SymbolTable
+    callgraph: CallGraph
+    sites: List[ScheduleSite]
+    #: Transitively tainted functions (wall clock / global RNG).
+    taints: Dict[str, str]
+    #: Functions reachable from the roots (module-level code, public
+    #: functions and methods, and every referenced callback).
+    reachable: Set[str]
+    #: caller qname -> run roots that reach it.  A *run root* is a
+    #: function that constructs a Simulator itself (``Simulator()``
+    #: or ``build_simulator(...)`` as a direct callee): the place a
+    #: run scope begins.  Two schedule sites can only tie when they
+    #: share one simulator, so the SCH rules pair sites only when
+    #: their callers share a run root here -- the static proxy for
+    #: "same run", which keeps scenarios that merely coexist in one
+    #: process (a report runner executing both) from cross-pairing.
+    caller_roots: Dict[str, Set[str]]
+
+
+def build_project(contexts: Sequence[ModuleContext]) -> ProjectContext:
+    """Build the full interprocedural view over *contexts*."""
+    ordered = sorted(contexts, key=lambda c: c.path)
+    symbols = build_symbol_table(ordered)
+    callgraph = build_call_graph(symbols)
+    sites = collect_schedule_sites(symbols, callgraph)
+    taints = tainted_functions(symbols, callgraph)
+    entry_roots: List[str] = []
+    for module in sorted(symbols.modules):
+        entry_roots.append(f"{module}.<module>")
+    for qname in sorted(symbols.functions):
+        symbol = symbols.functions[qname]
+        if not symbol.name.startswith("_") or symbol.name == "__init__":
+            entry_roots.append(qname)
+    roots = entry_roots + sorted(callgraph.callback_targets)
+    reachable = callgraph.reachable(roots)
+    site_callers = sorted({site.caller for site in sites})
+    caller_roots: Dict[str, Set[str]] = {c: set() for c in site_callers}
+    for root in _run_roots(symbols, callgraph):
+        reach = callgraph.reachable([root])
+        for caller in site_callers:
+            if caller in reach:
+                caller_roots[caller].add(root)
+    return ProjectContext(
+        contexts=list(ordered), symbols=symbols, callgraph=callgraph,
+        sites=sites, taints=taints, reachable=reachable,
+        caller_roots=caller_roots)
+
+
+#: Direct callees that mark a function as the start of a run scope.
+_SIM_CONSTRUCTORS = (
+    "repro.sim.kernel.Simulator",
+    "repro.sim.kernel.Simulator.__init__",
+    "repro.sim.kernel.build_simulator",
+)
+
+
+def _run_roots(symbols: SymbolTable,
+               callgraph: CallGraph) -> List[str]:
+    """Every function (or module body) that constructs a Simulator."""
+    candidates = sorted(symbols.functions)
+    candidates += [f"{m}.<module>" for m in sorted(symbols.modules)]
+    return [qname for qname in candidates
+            if any(callee in _SIM_CONSTRUCTORS
+                   for callee in callgraph.callees(qname))]

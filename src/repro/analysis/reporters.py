@@ -13,6 +13,7 @@ from typing import Any, Dict
 
 from repro.analysis.engine import LintResult, count_by_rule
 from repro.analysis.rules import all_rules
+from repro.analysis.schedule_rules import all_project_rules
 
 #: Bump when the JSON report layout changes.
 REPORT_FORMAT = 1
@@ -58,7 +59,7 @@ def render_json(result: LintResult) -> str:
 def render_rules_text() -> str:
     """The rule catalogue (``--list-rules``)."""
     lines = []
-    for rule in all_rules():
+    for rule in list(all_rules()) + list(all_project_rules()):
         lines.append(f"{rule.rule_id}  {rule.title}")
         for chunk in _wrap(rule.rationale, width=64):
             lines.append(f"        {chunk}")

@@ -462,14 +462,14 @@ class SeamGuardRule(Rule):
     rule_id = "DET005"
     title = "seam used without a None guard"
     rationale = (
-        "The obs and fault seams default to None so an unobserved, "
-        "fault-free run is bit-identical to pre-seam builds.  Every "
-        "use site must bind-and-guard (obs = sim.obs; if obs is not "
-        "None: ...); an unguarded use either crashes or silently "
-        "forces the seam always-on.")
+        "The obs, fault and tie-audit seams default to None so an "
+        "unobserved, fault-free, unaudited run is bit-identical to "
+        "pre-seam builds.  Every use site must bind-and-guard (obs "
+        "= sim.obs; if obs is not None: ...); an unguarded use "
+        "either crashes or silently forces the seam always-on.")
 
     #: Attribute names that are seams (None when unset, by contract).
-    SEAM_ATTRS = ("obs", "impairment", "drop_filter")
+    SEAM_ATTRS = ("obs", "impairment", "drop_filter", "tie_audit")
 
     #: The modules that *implement* the seams (the obs collectors
     #: themselves, the fault installer) rather than consume them.

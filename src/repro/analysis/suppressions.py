@@ -1,21 +1,27 @@
-"""Per-line suppressions: ``# detlint: ignore[DET003] -- reason``.
+"""Statement-level suppressions: ``# detlint: ignore[DET003] -- reason``.
 
-A suppression silences the named rule(s) on the physical line it
-appears on.  The grammar is deliberately strict -- every suppression
-must name at least one rule id *and* give a reason after ``--`` --
-so the codebase never accumulates bare, unexplained escapes.
-Malformed comments and suppressions that silenced nothing are
-themselves reported under the meta-rule :data:`META_RULE` (DET000),
-which keeps the suppression inventory honest.
+A suppression silences the named rule(s) on the *logical statement*
+it appears on: a comment anywhere on a multi-line call (the opening
+line, a continuation line, or after the closing parenthesis) covers
+findings anchored to any physical line of that statement.  Comments
+on their own line keep exact per-line semantics, so a stray
+suppression can never blanket a whole block.  The grammar is
+deliberately strict -- every suppression must name at least one rule
+id *and* give a reason after ``--`` -- so the codebase never
+accumulates bare, unexplained escapes.  Malformed comments and
+suppressions that silenced nothing are themselves reported under the
+meta-rule :data:`META_RULE` (DET000), which keeps the suppression
+inventory honest.
 """
 
 from __future__ import annotations
 
+import ast
 import dataclasses
 import io
 import re
 import tokenize
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.analysis.findings import Finding
 
@@ -32,7 +38,36 @@ _SUPPRESS_RE = re.compile(
 #: would otherwise silently fail to suppress.
 _MENTION_RE = re.compile(r"#\s*detlint\b")
 
-_RULE_ID_RE = re.compile(r"^DET\d{3}$")
+_RULE_ID_RE = re.compile(r"^(?:DET|SCH)\d{3}$")
+
+#: Compound statements never define a suppression span: a comment
+#: inside an ``if`` body must not silence the whole block.
+_COMPOUND_STMTS = (
+    ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef,
+    ast.If, ast.For, ast.AsyncFor, ast.While,
+    ast.With, ast.AsyncWith, ast.Try,
+)
+
+
+def statement_spans(tree: ast.Module) -> Dict[int, Tuple[int, int]]:
+    """line -> (first, last) physical line of its simple statement.
+
+    Only *multi-line simple statements* (a call split over several
+    lines, a parenthesised assignment...) get spans; single-line
+    statements and compound-statement bodies keep per-line
+    semantics.
+    """
+    spans: Dict[int, Tuple[int, int]] = {}
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.stmt) or \
+                isinstance(node, _COMPOUND_STMTS):
+            continue
+        end = getattr(node, "end_lineno", None) or node.lineno
+        if end <= node.lineno:
+            continue
+        for line in range(node.lineno, end + 1):
+            spans[line] = (node.lineno, end)
+    return spans
 
 
 @dataclasses.dataclass(frozen=True)
@@ -77,8 +112,8 @@ def parse_suppressions(
                 rule=META_RULE, path=path, line=lineno,
                 column=column + 1,
                 message=(f"invalid rule id(s) {bad or ['(none)']} in "
-                         f"suppression; expected DET followed by "
-                         f"three digits"),
+                         f"suppression; expected DET or SCH "
+                         f"followed by three digits"),
                 snippet=snippet))
             continue
         if not reason:
@@ -120,25 +155,47 @@ def apply_suppressions(
         findings: List[Finding],
         by_line: Dict[int, Suppression],
         path: str,
-        lines: List[str]) -> Tuple[List[Finding], List[Finding]]:
+        lines: List[str],
+        tree: Optional[ast.Module] = None,
+        active_rules: Optional[Set[str]] = None,
+) -> Tuple[List[Finding], List[Finding]]:
     """Filter *findings* through the suppression table.
+
+    When *tree* is given, a suppression on any physical line of a
+    multi-line simple statement covers findings anchored anywhere in
+    that statement (a ``schedule(...)`` call split over four lines
+    can carry its suppression on whichever line reads best).
 
     Returns ``(kept, unused)``: the findings that survived, plus
     DET000 findings for suppressions that silenced nothing (stale
-    escapes should be deleted, not carried).
+    escapes should be deleted, not carried).  When *active_rules* is
+    given, a suppression naming a rule that did not run this pass is
+    never reported unused -- a narrowed ``--select`` must not flag
+    every suppression for the rules it skipped.
     """
+    spans = statement_spans(tree) if tree is not None else {}
     used: Set[int] = set()
     kept: List[Finding] = []
     for finding in findings:
-        suppression = by_line.get(finding.line)
-        if (suppression is not None
-                and finding.rule in suppression.rules):
-            used.add(finding.line)
+        start, end = spans.get(finding.line,
+                               (finding.line, finding.line))
+        matched = None
+        for lineno in range(start, end + 1):
+            suppression = by_line.get(lineno)
+            if (suppression is not None
+                    and finding.rule in suppression.rules):
+                matched = lineno
+                break
+        if matched is not None:
+            used.add(matched)
         else:
             kept.append(finding)
     unused: List[Finding] = []
     for lineno, suppression in sorted(by_line.items()):
         if lineno in used:
+            continue
+        if active_rules is not None and \
+                not all(r in active_rules for r in suppression.rules):
             continue
         snippet = (lines[lineno - 1].strip()
                    if 0 < lineno <= len(lines) else "")
@@ -146,6 +203,7 @@ def apply_suppressions(
             rule=META_RULE, path=path, line=lineno, column=1,
             message=(f"unused suppression for "
                      f"{', '.join(suppression.rules)}: nothing on "
-                     f"this line triggers it (delete the comment)"),
+                     f"this statement triggers it (delete the "
+                     f"comment)"),
             snippet=snippet))
     return kept, unused

@@ -405,6 +405,33 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return run_lint(args)
 
 
+def cmd_tie_audit(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from repro.core.blind_corner import BlindCornerScenario
+    from repro.core.tieaudit import run_tie_audit
+
+    scenario = BlindCornerScenario(seed=args.seed)
+    report = run_tie_audit(scenario)
+    for run in report.runs:
+        print(f"{run.policy:<8} digest={run.digest[:16]} "
+              f"ties={run.audit.ties} "
+              f"pairs={run.audit.distinct_pairs}")
+    verdict = "bit-identical" if report.identical else "DIVERGED"
+    print(f"verdict: {verdict} across "
+          f"{', '.join(run.policy for run in report.runs)}")
+    if args.pairs:
+        for site_a, site_b, count in report.top_pairs(args.pairs):
+            print(f"  {count:6d}x  {site_a}  <->  {site_b}")
+    if args.output is not None:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json_module.dump(report.to_dict(), handle, indent=2,
+                             sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.output}")
+    return 0 if report.identical else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-testbed",
@@ -500,11 +527,24 @@ def build_parser() -> argparse.ArgumentParser:
     trace_parser.set_defaults(func=cmd_trace)
 
     lint_parser = sub.add_parser(
-        "lint", help="detlint determinism linter (DET001..DET008)")
+        "lint", help="detlint determinism linter (DET001..DET008, "
+                     "SCH001..SCH003)")
     from repro.analysis.cli import add_arguments as add_lint_arguments
 
     add_lint_arguments(lint_parser)
     lint_parser.set_defaults(func=cmd_lint)
+
+    tie_parser = sub.add_parser(
+        "tie-audit", help="re-run blind-corner under every tie-break "
+                          "policy and demand bit-identical results")
+    tie_parser.add_argument("--seed", type=int, default=1)
+    tie_parser.add_argument("--pairs", type=int, default=10,
+                            metavar="N",
+                            help="show the N most frequent tied "
+                                 "site pairs (0 to hide)")
+    tie_parser.add_argument("--output", default=None, metavar="FILE",
+                            help="write the full report as JSON")
+    tie_parser.set_defaults(func=cmd_tie_audit)
 
     return parser
 

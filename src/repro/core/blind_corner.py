@@ -34,8 +34,9 @@ from repro.openc2x.unit import OnBoardUnit, RoadSideUnit
 from repro.roadside.camera import SceneObject
 from repro.roadside.edge_node import EdgeNode
 from repro.roadside.hazard_service import HazardConfig
-from repro.sim.kernel import Simulator
+from repro.sim.kernel import Simulator, build_simulator
 from repro.sim.randomness import RandomStreams
+from repro.sim.tie_audit import TieAudit
 from repro.vehicle.dynamics import VehicleState
 from repro.vehicle.message_handler import MessageHandler
 from repro.vehicle.robot import RoboticVehicle
@@ -76,6 +77,10 @@ class BlindCornerScenario:
     lidar_ttc_threshold: float = 1.2
     timeout: float = 30.0
     seed: int = 1
+    #: Kernel tie-break policy for same-timestamp events (``"fifo"``,
+    #: ``"lifo"`` or ``"seeded"``); results must be bit-identical
+    #: under all three (the ``tie-audit`` workflow's default check).
+    tie_break: str = "fifo"
     infrastructure: bool = True
     #: Infrastructure channel: "denm" (reactive warning, the paper's
     #: pattern) or "cpm" (proactive collective perception -- the edge
@@ -109,10 +114,64 @@ class BlindCornerResult:
     cpm_objects_learned: int = 0
     cpm_triggered: bool = False
 
+    def to_dict(self) -> dict:
+        """Canonical JSON-serialisable form (infinities as strings)."""
+        return {
+            "infrastructure": self.infrastructure,
+            "collision": self.collision,
+            "min_separation": _encode_float(self.min_separation),
+            "protagonist_stopped": self.protagonist_stopped,
+            "stop_margin": _encode_float(self.stop_margin),
+            "denm_received": self.denm_received,
+            "lidar_triggered": self.lidar_triggered,
+            "timeline": self.timeline.to_dict(),
+            "cpm_objects_learned": self.cpm_objects_learned,
+            "cpm_triggered": self.cpm_triggered,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BlindCornerResult":
+        """Rebuild a result serialised by :meth:`to_dict`."""
+        return cls(
+            infrastructure=bool(data["infrastructure"]),
+            collision=bool(data["collision"]),
+            min_separation=_decode_float(data["min_separation"]),
+            protagonist_stopped=bool(data["protagonist_stopped"]),
+            stop_margin=_decode_float(data["stop_margin"]),
+            denm_received=bool(data["denm_received"]),
+            lidar_triggered=bool(data["lidar_triggered"]),
+            timeline=StepTimeline.from_dict(data["timeline"]),
+            cpm_objects_learned=int(data["cpm_objects_learned"]),
+            cpm_triggered=bool(data["cpm_triggered"]),
+        )
+
+
+def _encode_float(value: float) -> object:
+    """JSON-portable float: infinities become tagged strings."""
+    if math.isinf(value):
+        return "inf" if value > 0 else "-inf"
+    return value
+
+
+def _decode_float(value: object) -> float:
+    """Inverse of :func:`_encode_float`."""
+    if value == "inf":
+        return math.inf
+    if value == "-inf":
+        return -math.inf
+    return float(value)  # type: ignore[arg-type]
+
 
 class _ScriptedCrosser:
     """The non-ITS road user: constant speed along -y towards/through
-    the intersection."""
+    the intersection.
+
+    Position reads pull the update due at the current sim time (the
+    same catch-up discipline as
+    :class:`~repro.vehicle.dynamics.VehicleDynamics`), so observers
+    tied with the movement tick see identical positions under any
+    kernel tie-break order.
+    """
 
     def __init__(self, sim: Simulator, start_y: float, speed: float,
                  dt: float = 5e-3):
@@ -122,14 +181,24 @@ class _ScriptedCrosser:
         self.speed = speed
         self.heading = -math.pi / 2.0
         self.dt = dt
+        self._due = sim.now + dt
         sim.schedule(dt, self._tick)
 
     def _tick(self) -> None:
-        self.y -= self.speed * self.dt
-        self.sim.schedule(self.dt, self._tick)
+        self._catch_up()
+        self.sim.schedule(
+            # detlint: ignore[SCH001] -- benign: position() pulls via
+            # _catch_up, so same-time tick order is immaterial
+            self.dt, self._tick)
+
+    def _catch_up(self) -> None:
+        if self.sim.now >= self._due:
+            self._due = self.sim.now + self.dt
+            self.y -= self.speed * self.dt
 
     def position(self) -> Tuple[float, float]:
         """Current (x, y)."""
+        self._catch_up()
         return (self.x, self.y)
 
 
@@ -138,11 +207,16 @@ class BlindCornerTestbed:
 
     WATCH_PERIOD = 2e-3
 
-    def __init__(self, scenario: Optional[BlindCornerScenario] = None):
+    def __init__(self, scenario: Optional[BlindCornerScenario] = None,
+                 tie_audit: Optional["TieAudit"] = None):
         self.scenario = scenario or BlindCornerScenario()
         sc = self.scenario
-        self.sim = Simulator()
         self.streams = RandomStreams(sc.seed)
+        self.sim = build_simulator(sc.tie_break, self.streams)
+        # Install the audit before any device schedules, so even
+        # constructor-armed first shots carry real site ids.
+        if tie_audit is not None:
+            self.sim.tie_audit = tie_audit
         self.frame = LocalFrame()
         self.timeline = StepTimeline()
         self.min_separation = math.inf
@@ -306,7 +380,10 @@ class BlindCornerTestbed:
                         self.cpm_triggered = True
                         self.protagonist.emergency_stop(reason="cpm")
                         break
-        self.sim.schedule(0.05, self._collision_monitor)
+        self.sim.schedule(
+            # detlint: ignore[SCH001] -- benign: the monitor only
+            # reads catch-up state; tie-audit shows bit-identity
+            0.05, self._collision_monitor)
 
     # ------------------------------------------------------------------
     # Event wiring
@@ -366,7 +443,10 @@ class BlindCornerTestbed:
             self.collision = True
             self.sim.stop()
             return
-        self.sim.schedule(self.WATCH_PERIOD, self._watch)
+        self.sim.schedule(
+            # detlint: ignore[SCH001] -- benign: the watcher only
+            # reads catch-up state; tie-audit shows bit-identity
+            self.WATCH_PERIOD, self._watch)
 
     # ------------------------------------------------------------------
     # Running

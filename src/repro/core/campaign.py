@@ -49,7 +49,10 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 #: entries written under another version are treated as misses.
 #: v2: fault plans fold into the fingerprint; the package version is
 #: part of the payload.
-CACHE_FORMAT = 2
+#: v3: the kernel tie-break policy (``scenario.tie_break``) is a
+#: scenario field and therefore part of the fingerprint -- cached
+#: runs can never mix tie-break policies.
+CACHE_FORMAT = 3
 
 
 # ---------------------------------------------------------------------------

@@ -19,6 +19,7 @@ from repro.openc2x.unit import StackConfig
 from repro.roadside.hazard_service import HazardConfig
 from repro.roadside.yolo import YoloConfig
 from repro.sim.clock import NtpModel
+from repro.sim.kernel import TIE_BREAK_POLICIES
 from repro.vehicle.dynamics import VehicleParams
 
 
@@ -87,6 +88,19 @@ class EmergencyBrakeScenario:
     # Run control
     timeout: float = 30.0                # give up after this long (s)
     seed: int = 1
+    #: Kernel tie-break policy for same-timestamp events: ``"fifo"``
+    #: (insertion order, the default), ``"lifo"`` or ``"seeded"``
+    #: (shuffle from the ``tie_break.shuffle`` substream).  Results
+    #: must be bit-identical under all three -- the ``tie-audit``
+    #: workflow verifies it; the policy is part of the campaign cache
+    #: fingerprint so cached runs can never mix policies.
+    tie_break: str = "fifo"
+
+    def __post_init__(self) -> None:
+        if self.tie_break not in TIE_BREAK_POLICIES:
+            raise ValueError(
+                f"unknown tie_break policy {self.tie_break!r}; "
+                f"expected one of {', '.join(TIE_BREAK_POLICIES)}")
 
     @property
     def camera_fov(self) -> float:

@@ -1,0 +1,147 @@
+"""The tie-permutation audit: re-run a scenario under every tie-break
+policy and demand bit-identical results.
+
+A run whose measurements are a pure function of the scenario and seed
+must not care how the kernel orders events that share a timestamp.
+This module makes that claim testable: :func:`run_tie_audit` executes
+the same :class:`~repro.core.blind_corner.BlindCornerScenario` under
+``fifo``, ``lifo`` and ``seeded`` tie-break policies with the
+:class:`~repro.sim.tie_audit.TieAudit` seam installed, hashes each
+result to a canonical digest and reports whether every policy agreed
+-- together with the same-timestamp site pairs actually observed at
+runtime, which are the dynamic counterparts of the static SCH001
+pairs (same ``path:line`` ids on both sides).
+
+The static and dynamic halves close a loop: ``repro-testbed lint``
+names the site pairs that *can* tie; ``repro-testbed tie-audit``
+shows which of them *do* tie and proves (or refutes) that the tie is
+benign for the scenario's measurements.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.blind_corner import (
+    BlindCornerResult,
+    BlindCornerScenario,
+    BlindCornerTestbed,
+)
+from repro.sim.kernel import TIE_BREAK_POLICIES
+from repro.sim.tie_audit import TieAudit
+
+
+def _as_tuples(value: Any) -> Any:
+    """JSON lists back to the tuples the scenario dataclass uses."""
+    if isinstance(value, list):
+        return tuple(_as_tuples(item) for item in value)
+    return value
+
+
+def result_digest(result: BlindCornerResult) -> str:
+    """SHA-256 of the result's canonical JSON form.
+
+    Uses sorted keys and exact float reprs so two results digest
+    identically iff every measured field is bit-identical.
+    """
+    payload = json.dumps(result.to_dict(), sort_keys=True,
+                         separators=(",", ":"), default=repr)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+@dataclasses.dataclass
+class PolicyRun:
+    """One scenario execution under one tie-break policy."""
+
+    policy: str
+    digest: str
+    result: BlindCornerResult
+    audit: TieAudit
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Canonical JSON-serialisable form."""
+        return {
+            "policy": self.policy,
+            "digest": self.digest,
+            "result": self.result.to_dict(),
+            "audit": self.audit.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "PolicyRun":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(policy=payload["policy"],
+                   digest=payload["digest"],
+                   result=BlindCornerResult.from_dict(
+                       payload["result"]),
+                   audit=TieAudit.from_dict(payload["audit"]))
+
+
+@dataclasses.dataclass
+class TieAuditReport:
+    """The verdict of one tie-permutation audit."""
+
+    scenario: BlindCornerScenario
+    runs: List[PolicyRun]
+
+    @property
+    def identical(self) -> bool:
+        """Whether every policy produced the same result digest."""
+        return len({run.digest for run in self.runs}) <= 1
+
+    @property
+    def ties_observed(self) -> int:
+        """Runtime ties in the reference (first-policy) run."""
+        return self.runs[0].audit.ties if self.runs else 0
+
+    def top_pairs(self, limit: int = 10
+                  ) -> List[Tuple[str, str, int]]:
+        """Most frequent tied site pairs in the reference run."""
+        if not self.runs:
+            return []
+        return self.runs[0].audit.top_pairs(limit)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Canonical JSON-serialisable form."""
+        return {
+            "scenario": dataclasses.asdict(self.scenario),
+            "identical": self.identical,
+            "runs": [run.to_dict() for run in self.runs],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "TieAuditReport":
+        """Rebuild from :meth:`to_dict` output (``identical`` is
+        recomputed from the run digests, not trusted)."""
+        scenario = dict(payload["scenario"])
+        for key in ("wall", "wall_leg", "camera_position"):
+            if key in scenario:
+                scenario[key] = _as_tuples(scenario[key])
+        return cls(scenario=BlindCornerScenario(**scenario),
+                   runs=[PolicyRun.from_dict(run)
+                         for run in payload["runs"]])
+
+
+def run_tie_audit(
+        scenario: Optional[BlindCornerScenario] = None,
+        policies: Tuple[str, ...] = TIE_BREAK_POLICIES,
+) -> TieAuditReport:
+    """Run *scenario* once per policy and compare result digests.
+
+    The scenario's own ``tie_break`` field is overridden by each
+    policy in turn; everything else (seed included) is held fixed,
+    so any digest difference is attributable to tie order alone.
+    """
+    base = scenario or BlindCornerScenario()
+    runs: List[PolicyRun] = []
+    for policy in policies:
+        sc = dataclasses.replace(base, tie_break=policy)
+        audit = TieAudit()
+        result = BlindCornerTestbed(sc, tie_audit=audit).run()
+        runs.append(PolicyRun(policy=policy,
+                              digest=result_digest(result),
+                              result=result, audit=audit))
+    return TieAuditReport(scenario=base, runs=runs)

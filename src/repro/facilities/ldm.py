@@ -200,4 +200,8 @@ class Ldm:
         for key in stale:
             del self._objects[key]
         self.expired += len(stale)
-        self.sim.schedule(self.PURGE_PERIOD, self._purge_tick)
+        self.sim.schedule(
+            # detlint: ignore[SCH001] -- benign: an object inserted at
+            # t is still valid at t, so purge order at shared
+            # sim-times cannot change which entries are stale
+            self.PURGE_PERIOD, self._purge_tick)

@@ -137,7 +137,10 @@ class RoadsideCamera:
 
     def _capture(self) -> None:
         if not self.enabled:
-            self.sim.schedule(1.0 / self.fps, self._capture)
+            self.sim.schedule(
+                # detlint: ignore[SCH001] -- benign: cameras share no
+                # state with tied peers; frames carry timestamps
+                1.0 / self.fps, self._capture)
             return
         frame = CameraFrame(
             objects=self.observe(),
@@ -147,10 +150,16 @@ class RoadsideCamera:
         self.frames_captured += 1
         if self.drop_filter is not None and self.drop_filter(frame):
             self.frames_dropped += 1
-            self.sim.schedule(1.0 / self.fps, self._capture)
+            self.sim.schedule(
+                # detlint: ignore[SCH001] -- benign: dropped-frame
+                # re-arm of the same capture loop as above
+                1.0 / self.fps, self._capture)
             return
         self.publish(frame)
-        self.sim.schedule(1.0 / self.fps, self._capture)
+        self.sim.schedule(
+            # detlint: ignore[SCH001] -- benign: cameras share no
+            # state with tied peers; frames carry timestamps
+            1.0 / self.fps, self._capture)
 
 
 def _wrap(angle: float) -> float:

@@ -14,16 +14,26 @@ simulator.  It provides:
   random substreams.
 """
 
-from repro.sim.kernel import Event, Simulator, SimulationError
+from repro.sim.kernel import (
+    TIE_BREAK_POLICIES,
+    Event,
+    EventQueue,
+    SimulationError,
+    Simulator,
+)
 from repro.sim.process import Process, Timeout, Waiter, AllOf, AnyOf
 from repro.sim.clock import DeviceClock, NtpModel
 from repro.sim.randomness import RandomStreams
 from repro.sim.resources import Resource, Store
+from repro.sim.tie_audit import TieAudit
 
 __all__ = [
+    "TIE_BREAK_POLICIES",
     "Event",
+    "EventQueue",
     "Simulator",
     "SimulationError",
+    "TieAudit",
     "Process",
     "Timeout",
     "Waiter",

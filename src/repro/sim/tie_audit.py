@@ -1,0 +1,92 @@
+"""Dynamic tie auditing: which scheduling sites collide in sim-time.
+
+Two events scheduled for the *same* simulated timestamp are ordered by
+the kernel's tie-break policy (see :class:`repro.sim.kernel.EventQueue`),
+which means any behavioural difference between policies is evidence
+that schedule order leaks into results.  A :class:`TieAudit` is the
+no-op-when-unset seam that records every such tie together with the
+*static site ids* (``path:line`` of the ``schedule()`` call) of both
+events involved, so a statically flagged pair (rule SCH001) can be
+pinned to, or cleared of, an actual runtime collision.
+
+The audit is observational only: installing it never changes event
+order, RNG draws or measurements, so an audited run stays
+bit-identical to an unaudited one.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+#: Site id used when a scheduling site could not be captured (the
+#: audit was installed mid-run, or the frame was unavailable).
+UNKNOWN_SITE = "<unknown>"
+
+
+class TieAudit:
+    """Records same-timestamp ties between scheduling sites.
+
+    One tie is one adjacent pair of events popped at the same
+    simulated time: when the kernel executes an event and the next
+    queue head carries the identical timestamp, the (unordered) pair
+    of their scheduling sites is counted.  ``n`` events tied at one
+    timestamp therefore record ``n - 1`` adjacent pairs -- enough to
+    name every site participating in the collision.
+    """
+
+    def __init__(self) -> None:
+        #: unordered site pair -> number of ties observed.
+        self.pairs: Dict[Tuple[str, str], int] = {}
+        #: total number of ties observed.
+        self.ties = 0
+        #: first simulated time at which each pair tied.
+        self.first_seen: Dict[Tuple[str, str], float] = {}
+
+    def record(self, when: float, site_a: str, site_b: str) -> None:
+        """Count one tie at time *when* between two sites."""
+        pair = (site_a, site_b) if site_a <= site_b else (site_b, site_a)
+        self.ties += 1
+        self.pairs[pair] = self.pairs.get(pair, 0) + 1
+        if pair not in self.first_seen:
+            self.first_seen[pair] = when
+
+    @property
+    def distinct_pairs(self) -> int:
+        """How many distinct site pairs ever tied."""
+        return len(self.pairs)
+
+    def top_pairs(self, limit: int = 10) -> List[Tuple[str, str, int]]:
+        """The most frequent site pairs, ``(site_a, site_b, count)``.
+
+        Sorted by descending count, then by site pair, so the listing
+        is deterministic.
+        """
+        ranked = sorted(self.pairs.items(),
+                        key=lambda item: (-item[1], item[0]))
+        return [(a, b, count) for (a, b), count in ranked[:limit]]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Canonical JSON-serialisable form (pairs in sorted order)."""
+        return {
+            "ties": self.ties,
+            "pairs": [
+                {
+                    "site_a": pair[0],
+                    "site_b": pair[1],
+                    "count": self.pairs[pair],
+                    "first_seen": self.first_seen[pair],
+                }
+                for pair in sorted(self.pairs)
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "TieAudit":
+        """Rebuild an audit serialised by :meth:`to_dict`."""
+        audit = cls()
+        audit.ties = int(data["ties"])
+        for entry in data["pairs"]:
+            pair = (str(entry["site_a"]), str(entry["site_b"]))
+            audit.pairs[pair] = int(entry["count"])
+            audit.first_seen[pair] = float(entry["first_seen"])
+        return audit

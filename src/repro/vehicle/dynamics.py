@@ -88,6 +88,17 @@ class VehicleDynamics:
     commands (throttle / steering / mode) take effect at the next tick,
     which adds the sub-tick actuation granularity real ESCs have (PWM
     period ~ 10 ms, modelled separately in the actuation path).
+
+    **Same-time ordering.** Observers (watchdogs, sensors, planners)
+    often tick on grids that alias the integration grid, so their
+    events share exact timestamps with ``_tick``.  Which ran first
+    used to depend on the kernel's tie-break order.  Reads now pull:
+    :attr:`state` first folds in any integration step due at the
+    current sim time, so a same-timestamp reader sees the post-step
+    state no matter how the kernel ordered the tie.  The scheduled
+    tick then detects the step has already been taken and only
+    re-arms.  Event order at a shared timestamp therefore cannot leak
+    into results (the ``tie-audit`` workflow verifies this).
     """
 
     def __init__(
@@ -101,7 +112,7 @@ class VehicleDynamics:
     ):
         self.sim = sim
         self.params = params or VehicleParams()
-        self.state = state or VehicleState()
+        self._state = state or VehicleState()
         self.dt = dt
         self.process_noise_std = process_noise_std
         self.rng = rng or np.random.default_rng(0)
@@ -110,24 +121,46 @@ class VehicleDynamics:
         self.steering_command = 0.0       # rad
         self.odometer = 0.0
         self._last_tick: Optional[float] = None
+        self._due = sim.now + dt
         sim.schedule(self.dt, self._tick)
+
+    @property
+    def state(self) -> VehicleState:
+        """Pose and speed, current as of ``sim.now``.
+
+        Reading forces any integration step due at the current sim
+        time, so same-timestamp observers see identical state
+        regardless of event order (see the class docstring).
+        """
+        self._catch_up()
+        return self._state
 
     # ------------------------------------------------------------------
     # Commands (called by the actuation path)
     # ------------------------------------------------------------------
 
     def set_throttle(self, throttle: float) -> None:
-        """Drive with PWM duty *throttle* in [0, 1]."""
+        """Drive with PWM duty *throttle* in [0, 1].
+
+        Takes effect from the current sim time onward: any integration
+        step due *now* is folded in first, so a command can never
+        retroactively alter the interval that ends at its arrival
+        (PWM edges land exactly on integration-tick timestamps, so
+        this tie is routine -- see the class docstring).
+        """
+        self._catch_up()
         self.throttle = float(np.clip(throttle, 0.0, 1.0))
         self.mode = "drive"
 
     def set_steering(self, angle: float) -> None:
-        """Command the steering servo to *angle* radians."""
+        """Command the steering servo to *angle* radians (from now on)."""
+        self._catch_up()
         limit = self.params.max_steering
         self.steering_command = float(np.clip(angle, -limit, limit))
 
     def cut_power(self, brake: bool = True) -> None:
         """Emergency stop: cut motor power (ESC drag-brake engages)."""
+        self._catch_up()
         self.throttle = 0.0
         self.mode = "brake" if brake else "coast"
 
@@ -136,12 +169,29 @@ class VehicleDynamics:
     # ------------------------------------------------------------------
 
     def _tick(self) -> None:
-        self._integrate(self.dt)
-        self.sim.schedule(self.dt, self._tick)
+        self._catch_up()
+        self.sim.schedule(
+            # detlint: ignore[SCH001] -- benign: every reader pulls
+            # through _catch_up, so same-time tick order is immaterial
+            self.dt, self._tick)
+
+    def _catch_up(self) -> None:
+        """Fold in the integration step due now, if not yet taken.
+
+        Idempotent at a given sim time: whoever touches the state
+        first at a tick's timestamp (the scheduled tick itself or a
+        same-timestamp reader) performs the step; everyone later sees
+        it already taken.  ``_due`` mirrors the pending tick's
+        timestamp exactly (both are computed as ``sim.now + dt`` at
+        the previous step, so the floats match bit for bit).
+        """
+        if self.sim.now >= self._due:
+            self._due = self.sim.now + self.dt
+            self._integrate(self.dt)
 
     def _integrate(self, dt: float) -> None:
         p = self.params
-        s = self.state
+        s = self._state
         # Steering servo slews towards the command.
         max_delta = p.steering_rate * dt
         error = self.steering_command - s.steering

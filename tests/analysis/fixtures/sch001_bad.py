@@ -1,0 +1,35 @@
+"""SCH001 positive fixture: two commensurable periodic loops.
+
+The radar re-arms every 5 ms and the lidar every 2 ms, so both fire
+at every 10 ms boundary and the kernel's tie-break order decides
+which callback runs first.
+"""
+
+from repro.sim.kernel import Simulator
+
+
+class RadarDevice:
+    def __init__(self, sim):
+        self.sim = sim
+        self.hits = 0
+        sim.schedule(0.005, self._tick)
+
+    def _tick(self):
+        self.hits += 1
+        self.sim.schedule(0.005, self._tick)
+
+
+class LidarDevice:
+    def __init__(self, sim):
+        self.sim = sim
+        self.sweeps = 0
+        sim.schedule(0.002, self._tick)
+
+    def _tick(self):
+        self.sweeps += 1
+        self.sim.schedule(0.002, self._tick)
+
+
+def build():
+    sim = Simulator()
+    return sim, RadarDevice(sim), LidarDevice(sim)

@@ -1,0 +1,35 @@
+"""SCH001 negative fixture: incommensurable periodic loops.
+
+A 15 fps camera grid (1/15 s is not a finite decimal) never shares a
+fire time with the 2 ms integrator grid, so there is no tie for the
+kernel to break.
+"""
+
+from repro.sim.kernel import Simulator
+
+
+class CameraDevice:
+    def __init__(self, sim):
+        self.sim = sim
+        self.frames = 0
+        sim.schedule(1.0 / 15.0, self._tick)
+
+    def _tick(self):
+        self.frames += 1
+        self.sim.schedule(1.0 / 15.0, self._tick)
+
+
+class IntegratorDevice:
+    def __init__(self, sim):
+        self.sim = sim
+        self.steps = 0
+        sim.schedule(0.002, self._tick)
+
+    def _tick(self):
+        self.steps += 1
+        self.sim.schedule(0.002, self._tick)
+
+
+def build():
+    sim = Simulator()
+    return sim, CameraDevice(sim), IntegratorDevice(sim)

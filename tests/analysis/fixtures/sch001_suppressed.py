@@ -1,0 +1,39 @@
+"""Statement-span suppression fixture: the SCH001 pair from
+sch001_bad, silenced by a comment on a *continuation line* of the
+multi-line schedule statement (not the line the finding anchors
+on).  SCH001 anchors one finding per tied pair at the earlier site,
+so only the radar statement needs the suppression.  Zero findings
+means statement-level suppression works.
+"""
+
+from repro.sim.kernel import Simulator
+
+
+class RadarDevice:
+    def __init__(self, sim):
+        self.sim = sim
+        self.hits = 0
+        sim.schedule(0.005, self._tick)
+
+    def _tick(self):
+        self.hits += 1
+        self.sim.schedule(
+            # detlint: ignore[SCH001] -- fixture: tie audited benign
+            0.005,
+            self._tick)
+
+
+class LidarDevice:
+    def __init__(self, sim):
+        self.sim = sim
+        self.sweeps = 0
+        sim.schedule(0.002, self._tick)
+
+    def _tick(self):
+        self.sweeps += 1
+        self.sim.schedule(0.002, self._tick)
+
+
+def build():
+    sim = Simulator()
+    return sim, RadarDevice(sim), LidarDevice(sim)

@@ -1,0 +1,29 @@
+"""SCH002 positive fixture: tied callbacks racing on shared state.
+
+Both loops run every 10 ms on the same object; the sampler appends
+to the window the flusher clears, so tie-break order decides whether
+a sample lands before or after the flush.
+"""
+
+from repro.sim.kernel import Simulator
+
+
+class FusionUnit:
+    def __init__(self, sim):
+        self.sim = sim
+        self.window = []
+        sim.schedule(0.01, self._sample)
+        sim.schedule(0.01, self._flush)
+
+    def _sample(self):
+        self.window.append(1.0)
+        self.sim.schedule(0.01, self._sample)
+
+    def _flush(self):
+        self.window.clear()
+        self.sim.schedule(0.01, self._flush)
+
+
+def build():
+    sim = Simulator()
+    return sim, FusionUnit(sim)

@@ -1,0 +1,30 @@
+"""SCH002 negative fixture: loops with disjoint state and grids.
+
+The sampler and the reporter live on the same object but touch
+different attributes and their periods never align, so neither
+SCH001 nor SCH002 has anything to say.
+"""
+
+from repro.sim.kernel import Simulator
+
+
+class TelemetryUnit:
+    def __init__(self, sim):
+        self.sim = sim
+        self.samples = 0
+        self.reports = 0
+        sim.schedule(1.0 / 15.0, self._sample)
+        sim.schedule(0.002, self._report)
+
+    def _sample(self):
+        self.samples += 1
+        self.sim.schedule(1.0 / 15.0, self._sample)
+
+    def _report(self):
+        self.reports += 1
+        self.sim.schedule(0.002, self._report)
+
+
+def build():
+    sim = Simulator()
+    return sim, TelemetryUnit(sim)

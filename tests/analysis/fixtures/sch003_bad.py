@@ -1,0 +1,28 @@
+"""SCH003 positive fixture: schedule delay tainted through a helper.
+
+The wall-clock read hides one call away from the schedule site, out
+of reach of the per-file DET002 anchor; SCH003 follows the value
+through the call graph to the site that consumes it.
+"""
+
+import time
+
+from repro.sim.kernel import Simulator
+
+
+def _jitter():
+    return time.time() % 0.001
+
+
+class Beacon:
+    def __init__(self, sim):
+        self.sim = sim
+        sim.schedule(0.1 + _jitter(), self._fire)
+
+    def _fire(self):
+        self.sim.schedule(0.1 + _jitter(), self._fire)
+
+
+def build():
+    sim = Simulator()
+    return sim, Beacon(sim)

@@ -1,0 +1,21 @@
+"""SCH003 negative fixture: delay from a pure helper is fine."""
+
+from repro.sim.kernel import Simulator
+
+
+def _spacing():
+    return 0.25
+
+
+class Beacon:
+    def __init__(self, sim):
+        self.sim = sim
+        sim.schedule(_spacing(), self._fire)
+
+    def _fire(self):
+        self.sim.schedule(_spacing(), self._fire)
+
+
+def build():
+    sim = Simulator()
+    return sim, Beacon(sim)

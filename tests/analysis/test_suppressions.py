@@ -1,8 +1,12 @@
-"""Suppression grammar: silencing, typos, stale escapes."""
+"""Suppression grammar: silencing, typos, stale escapes, spans."""
 
 from __future__ import annotations
 
+import ast
+
 from repro.analysis.engine import lint_source
+from repro.analysis.rules import all_rules
+from repro.analysis.suppressions import statement_spans
 
 WALLCLOCK = ("import time\n"
              "def stamp():\n"
@@ -72,6 +76,60 @@ class TestMalformed:
                   'this."""\n'
                   '    return 1\n')
         assert lint_source(source, "x.py") == []
+
+
+class TestStatementSpans:
+    def test_multiline_simple_statements_get_spans(self):
+        source = ("x = f(\n"
+                  "    1,\n"
+                  "    2,\n"
+                  ")\n"
+                  "y = 1\n")
+        spans = statement_spans(ast.parse(source))
+        assert spans == {1: (1, 4), 2: (1, 4),
+                         3: (1, 4), 4: (1, 4)}
+
+    def test_compound_statements_define_no_span(self):
+        source = ("if x:\n"
+                  "    y = 1\n"
+                  "for i in r:\n"
+                  "    z = 2\n")
+        assert statement_spans(ast.parse(source)) == {}
+
+    def test_suppression_on_continuation_line_covers_statement(self):
+        source = ("import time\n"
+                  "def stamp():\n"
+                  "    return time.time(\n"
+                  "        # detlint: ignore[DET002] -- test clock\n"
+                  "    )\n")
+        assert lint_source(source, "x.py") == []
+
+    def test_suppression_on_closing_paren_line_covers_statement(self):
+        source = ("import time\n"
+                  "def stamp():\n"
+                  "    return time.time(\n"
+                  "    )  # detlint: ignore[DET002] -- test clock\n")
+        assert lint_source(source, "x.py") == []
+
+    def test_span_does_not_leak_to_the_next_statement(self):
+        source = ("import time\n"
+                  "def stamp():\n"
+                  "    a = f(\n"
+                  "        # detlint: ignore[DET002] -- wrong stmt\n"
+                  "    )\n"
+                  "    return time.time()\n")
+        rules = sorted(f.rule for f in lint_source(source, "x.py"))
+        # The finding survives; the suppression reports unused.
+        assert rules == ["DET000", "DET002"]
+
+    def test_narrowed_rules_skip_foreign_suppressions(self):
+        # A suppression for a rule that did not run this pass is
+        # never reported unused.
+        source = ("def f():\n"
+                  "    return 1"
+                  "  # detlint: ignore[SCH001] -- audited benign\n")
+        rules = [r for r in all_rules() if r.rule_id == "DET002"]
+        assert lint_source(source, "x.py", rules=rules) == []
 
 
 class TestUnused:

@@ -1,0 +1,122 @@
+"""Tie-break policies and the TieAudit kernel seam.
+
+Same-timestamp events are ordered by the queue's tie-break policy;
+distinct timestamps must never be reordered by any policy.  With a
+:class:`TieAudit` installed, every runtime tie is recorded with the
+static ``path:line`` site ids of both events.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Simulator, SimulationError, TieAudit
+from repro.sim.kernel import TIE_BREAK_POLICIES, build_simulator
+from repro.sim.randomness import RandomStreams
+from repro.sim.tie_audit import UNKNOWN_SITE
+
+
+def _three_tied(sim):
+    order = []
+    for tag in "abc":
+        sim.schedule(1.0, lambda t=tag: order.append(t))
+    sim.run()
+    return order
+
+
+class TestPolicies:
+    def test_fifo_keeps_insertion_order(self):
+        assert _three_tied(build_simulator("fifo")) == ["a", "b", "c"]
+
+    def test_lifo_reverses_ties(self):
+        assert _three_tied(build_simulator("lifo")) == ["c", "b", "a"]
+
+    def test_seeded_is_a_deterministic_permutation(self):
+        def run(seed):
+            return _three_tied(
+                build_simulator("seeded", RandomStreams(seed)))
+
+        first = run(7)
+        assert sorted(first) == ["a", "b", "c"]
+        assert run(7) == first
+
+    def test_seeded_without_streams_rejected(self):
+        with pytest.raises(SimulationError):
+            build_simulator("seeded")
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(SimulationError):
+            build_simulator("spooky")
+
+    @pytest.mark.parametrize("policy", TIE_BREAK_POLICIES)
+    def test_distinct_times_never_reordered(self, policy):
+        streams = RandomStreams(3) if policy == "seeded" else None
+        sim = build_simulator(policy, streams)
+        seen = []
+        for delay in (5.0, 1.0, 3.0, 2.0, 4.0):
+            sim.schedule(delay, lambda d=delay: seen.append(d))
+        sim.run()
+        assert seen == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    @settings(max_examples=50, deadline=None)
+    @given(millis=st.lists(st.integers(min_value=0, max_value=10**6),
+                           min_size=2, max_size=30, unique=True),
+           policy=st.sampled_from(TIE_BREAK_POLICIES),
+           seed=st.integers(min_value=0, max_value=2**31 - 1))
+    def test_property_distinct_timestamps_run_in_time_order(
+            self, millis, policy, seed):
+        streams = RandomStreams(seed) if policy == "seeded" else None
+        sim = build_simulator(policy, streams)
+        fired = []
+        for ms in millis:
+            sim.schedule(ms / 1000.0, lambda t=ms: fired.append(t))
+        sim.run()
+        assert fired == sorted(millis)
+
+
+class TestTieAuditSeam:
+    def test_unset_seam_is_a_noop(self):
+        sim = Simulator()
+        assert sim.tie_audit is None
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(1.0, lambda: None)
+        sim.run()  # ties run fine with nothing installed
+
+    def test_installed_audit_counts_ties_with_site_ids(self):
+        sim = Simulator()
+        audit = TieAudit()
+        sim.tie_audit = audit
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        assert audit.ties == 1
+        assert audit.distinct_pairs == 1
+        ((site_a, site_b, count),) = audit.top_pairs()
+        assert count == 1
+        for site in (site_a, site_b):
+            assert site != UNKNOWN_SITE
+            path, _, line = site.rpartition(":")
+            assert path.startswith("tests/")
+            assert line.isdigit()
+
+    def test_distinct_times_record_no_tie(self):
+        sim = Simulator()
+        audit = TieAudit()
+        sim.tie_audit = audit
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        assert audit.ties == 0
+        assert audit.top_pairs() == []
+
+    def test_audit_roundtrips_through_dict(self):
+        sim = Simulator()
+        audit = TieAudit()
+        sim.tie_audit = audit
+        for _ in range(3):
+            sim.schedule(1.0, lambda: None)
+        sim.run()
+        clone = TieAudit.from_dict(audit.to_dict())
+        assert clone.ties == audit.ties
+        assert clone.top_pairs() == audit.top_pairs()
