@@ -9,7 +9,10 @@ Subcommands:
 * ``cdf`` -- a latency campaign with distribution fitting;
 * ``faults`` -- the fault-injection matrix (plans x seeds) with
   SAFE/LATE/NO/SPURIOUS-stop verdicts;
-* ``bench`` -- the fixed perf grid, writing ``BENCH_<rev>.json``;
+* ``fleet`` -- fleet-scale congestion campaigns: N OBUs and M RSUs
+  sharing one channel, sweepable over fleet sizes;
+* ``bench`` -- the fixed perf grid, writing ``BENCH_<rev>.json``
+  (``--fleet-sizes`` adds a fleet-size axis);
 * ``trace`` -- one traced run as canonical JSONL + step timeline
   (``--update-golden`` refreshes the golden-trace fixtures);
 * ``lint`` -- the detlint determinism linter (rules DET001..DET008
@@ -322,7 +325,10 @@ def cmd_bench(args: argparse.Namespace) -> int:
         write_bench,
     )
 
+    fleet_sizes = ([int(n) for n in args.fleet_sizes.split(",")]
+                   if args.fleet_sizes else None)
     payload = run_bench(runs=args.runs, base_seed=args.seed,
+                        fleet_sizes=fleet_sizes,
                         progress=_print_progress)
     path = args.output or default_output_path(payload["revision"])
     write_bench(payload, path)
@@ -338,8 +344,85 @@ def cmd_bench(args: argparse.Namespace) -> int:
     for name, stats in sorted(payload["wall_sites"].items()):
         print(f"  wall {name:<28} n={stats['count']:<6} "
               f"mean={stats['mean_s'] * 1000:8.3f} ms")
+    for entry in payload.get("fleet", []):
+        print(f"  fleet N={entry['n_obus']:<4} "
+              f"wall={entry['wall_s']:7.2f} s "
+              f"{entry['events_per_sec']:,.0f} kernel events/s "
+              f"cbr={entry['cbr_mean']:.3f}")
     print(f"(written to {path})")
     return 0
+
+
+def _fleet_progress(run_id: int, total: int, result) -> None:
+    print(f"  [{run_id}/{total}] seed {result.seed}: "
+          f"{result.denm_delivered}/{result.n_obus} warned, "
+          f"verdict {result.verdict}", file=sys.stderr)
+
+
+def cmd_fleet(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.core.fleet import (
+        FleetScenario,
+        golden_scenario,
+        run_fleet_campaign,
+        run_fleet_sweep,
+    )
+
+    if args.update_golden:
+        import os
+
+        from repro.core.fleet import canonical_json
+
+        campaign = run_fleet_campaign(golden_scenario(), runs=1)
+        os.makedirs(GOLDEN_DIR, exist_ok=True)
+        path = os.path.join(GOLDEN_DIR, "fleet_16obu_seed1.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(canonical_json(campaign.to_dict()) + "\n")
+        print(f"wrote {path} (digest {campaign.digest()[:16]})")
+        return 0
+
+    scenario = FleetScenario(
+        n_obus=args.obus, n_rsus=args.rsus, workload=args.workload,
+        duration=args.duration, seed=args.seed,
+        tie_break=args.tie_break)
+    sizes = ([int(n) for n in args.sweep.split(",")]
+             if args.sweep else None)
+    if sizes:
+        campaigns = run_fleet_sweep(
+            sizes, scenario, runs=args.runs, base_seed=args.seed,
+            workers=args.workers, progress=_fleet_progress)
+    else:
+        campaigns = {args.obus: run_fleet_campaign(
+            scenario, runs=args.runs, base_seed=args.seed,
+            workers=args.workers, progress=_fleet_progress)}
+
+    print(f"Fleet {scenario.workload} campaigns "
+          f"({args.runs} seeds from {args.seed}):")
+    print(f"  {'N':>4} {'warned':>8} {'latency':>10} "
+          f"{'cbr':>6} {'dcc':>5}  digest")
+    for n_obus in sorted(campaigns):
+        campaign = campaigns[n_obus]
+        latency = campaign.mean_latency_ms()
+        latency_text = "-" if latency is None else f"{latency:7.1f} ms"
+        mean_cbr = (sum(r.mean_cbr for r in campaign.runs)
+                    / len(campaign.runs))
+        transitions = sum(r.total_dcc_transitions
+                          for r in campaign.runs)
+        print(f"  {n_obus:>4} "
+              f"{campaign.delivered_fraction() * 100:7.1f}% "
+              f"{latency_text:>10} {mean_cbr:6.3f} {transitions:>5}"
+              f"  {campaign.digest()[:16]}")
+    if args.json:
+        payload = {str(n): campaigns[n].to_dict()
+                   for n in sorted(campaigns)}
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    all_delivered = all(campaign.delivered_fraction() > 0.0
+                        for campaign in campaigns.values())
+    return 0 if all_delivered else 1
 
 
 #: Where ``trace --update-golden`` writes, relative to the repo root.
@@ -513,7 +596,50 @@ def build_parser() -> argparse.ArgumentParser:
     bench_parser.add_argument("--output", default=None, metavar="FILE",
                               help="artefact path (default: "
                                    "BENCH_<rev>.json)")
+    bench_parser.add_argument("--fleet-sizes", default=None,
+                              metavar="N,N,...",
+                              help="also bench fleet scenarios at "
+                                   "these OBU counts (e.g. 1,8,32)")
     bench_parser.set_defaults(func=cmd_bench)
+
+    fleet_parser = sub.add_parser(
+        "fleet", help="fleet-scale congestion campaign "
+                      "(N OBUs, M RSUs, one channel)")
+    fleet_parser.add_argument("--obus", type=_positive_int, default=16,
+                              help="fleet size (OBU count)")
+    fleet_parser.add_argument("--rsus", type=_positive_int, default=2,
+                              help="roadside unit count")
+    fleet_parser.add_argument("--workload",
+                              choices=("beacon", "convoy",
+                                       "blind_corner"),
+                              default="beacon",
+                              help="what the participant vehicles do")
+    fleet_parser.add_argument("--runs", type=_positive_int, default=3,
+                              help="seeds per fleet size")
+    fleet_parser.add_argument("--seed", type=int, default=1,
+                              help="base random seed")
+    fleet_parser.add_argument("--duration", type=float, default=8.0,
+                              help="simulated seconds per run")
+    fleet_parser.add_argument("--tie-break",
+                              choices=("fifo", "lifo", "seeded"),
+                              default="fifo",
+                              help="kernel tie-break policy (results "
+                                   "are bit-identical across all "
+                                   "three)")
+    fleet_parser.add_argument("--workers", type=_workers_count,
+                              default=1, metavar="N",
+                              help="shard runs over N processes "
+                                   "(bit-identical to serial)")
+    fleet_parser.add_argument("--sweep", default=None,
+                              metavar="N,N,...",
+                              help="sweep fleet size over these OBU "
+                                   "counts instead of --obus")
+    fleet_parser.add_argument("--json", default=None, metavar="FILE",
+                              help="write campaign results as JSON")
+    fleet_parser.add_argument("--update-golden", action="store_true",
+                              help="regenerate the 16-OBU golden "
+                                   "fleet fixture and exit")
+    fleet_parser.set_defaults(func=cmd_fleet)
 
     trace_parser = sub.add_parser(
         "trace", help="one traced run -> canonical JSONL + timeline")

@@ -18,7 +18,9 @@ network-aided safety function, not just the communication hop.
 * :mod:`repro.core.blind_corner` -- the blind-corner intersection
   with the onboard-only baseline (the use-case's motivation);
 * :mod:`repro.core.platoon` -- the platooning / multi-technology
-  future-work extension.
+  future-work extension;
+* :mod:`repro.core.fleet` -- fleet-scale scenarios: N OBUs and M RSUs
+  congesting one channel, with CBR-driven DCC and campaign sharding.
 """
 
 from repro.core.measurement import RunMeasurement, StepTimeline, Steps
@@ -51,12 +53,25 @@ from repro.core.blind_corner import (
 )
 from repro.core.platoon import PlatoonScenario, PlatoonTestbed, run_platoon
 from repro.core.report import ReportConfig, generate_report, write_report
+from repro.core.fleet import (
+    FleetCampaignResult,
+    FleetRunResult,
+    FleetScenario,
+    FleetTestbed,
+    run_fleet,
+    run_fleet_campaign,
+    run_fleet_sweep,
+)
 
 __all__ = [
     "BlindCornerScenario",
     "BlindCornerTestbed",
     "BrakingAnalysis",
     "CampaignResult",
+    "FleetCampaignResult",
+    "FleetRunResult",
+    "FleetScenario",
+    "FleetTestbed",
     "PlatoonScenario",
     "PlatoonTestbed",
     "ReportConfig",
@@ -81,6 +96,9 @@ __all__ = [
     "full_scale_braking_distance",
     "run_campaign",
     "run_campaign_parallel",
+    "run_fleet",
+    "run_fleet_campaign",
+    "run_fleet_sweep",
     "scenario_fingerprint",
     "summarize",
 ]

@@ -180,6 +180,25 @@ def _execute_run(scenario: EmergencyBrakeScenario,
     return testbed.run()
 
 
+def _execute_run_observed(scenario: EmergencyBrakeScenario,
+                          run_id: int,
+                          fault_plan: Optional["FaultPlan"] = None,
+                          ):
+    """Pool entry point for instrumented runs.
+
+    Builds a fresh :class:`~repro.obs.ObsContext` inside the worker and
+    ships it home as its canonical dict (the round trip is byte-exact),
+    plus the worker-measured wall time of the run.
+    """
+    from repro.obs import ObsContext
+
+    obs_ctx = ObsContext()
+    started = perf_counter()
+    measurement = _execute_run(scenario, run_id, fault_plan,
+                               obs_ctx=obs_ctx)
+    return measurement, obs_ctx.to_dict(), perf_counter() - started
+
+
 def run_campaign_parallel(
     scenario: Optional[EmergencyBrakeScenario] = None,
     runs: int = 5,
@@ -207,12 +226,15 @@ def run_campaign_parallel(
 
     With an *obs* aggregate, every simulated run is instrumented with
     a fresh :class:`~repro.obs.ObsContext` that is merged into the
-    aggregate (cache hits count via ``add_cached``).  Because the
-    contexts live in this process, instrumented misses execute
-    serially in-process regardless of *workers* -- observability is a
-    measurement mode, not a throughput mode.  Instrumentation never
-    touches RNG draws or event scheduling, so measurements stay
-    bit-identical to an unobserved campaign.
+    aggregate (cache hits count via ``add_cached``).  Instrumented
+    campaigns shard across the pool like plain ones: each worker
+    builds its context locally and ships it back as a canonical dict,
+    and the parent folds the contexts in ``run_id`` order through the
+    exactly-mergeable metric fold, so the aggregate is bit-identical
+    to a serial instrumented campaign (wall-clock profile stats aside,
+    which are real measured times and never deterministic).
+    Instrumentation never touches RNG draws or event scheduling, so
+    measurements stay bit-identical to an unobserved campaign.
     """
     from repro.core.testbed import CampaignResult
 
@@ -262,22 +284,38 @@ def run_campaign_parallel(
         pending.append((run_id, run_scenario, key))
 
     # --- Simulate the misses, in-process or across a pool.
-    if workers > 1 and len(pending) > 1 and obs is None:
+    if workers > 1 and len(pending) > 1:
         pool_size = min(workers, len(pending))
+        observed = {}  # run_id -> (obs dict, wall seconds)
         with concurrent.futures.ProcessPoolExecutor(
                 max_workers=pool_size) as pool:
+            entry = _execute_run_observed if obs is not None \
+                else _execute_run
             futures = {
-                pool.submit(_execute_run, run_scenario, run_id,
-                            fault_plan):
+                pool.submit(entry, run_scenario, run_id, fault_plan):
                     (run_id, run_scenario, key)
                 for run_id, run_scenario, key in pending
             }
             for future in concurrent.futures.as_completed(futures):
                 run_id, run_scenario, key = futures[future]
-                measurement = future.result()
+                if obs is not None:
+                    measurement, obs_dict, wall = future.result()
+                    observed[run_id] = (obs_dict, wall)
+                else:
+                    measurement = future.result()
                 if cache is not None:
                     cache.put(key, measurement)
                 finish(run_id, run_scenario.seed, False, measurement)
+        if obs is not None:
+            from repro.obs import ObsContext
+
+            # Fold in run_id order: the fold is associative and
+            # commutative over metrics, but a fixed order keeps even
+            # order-sensitive consumers (span concatenation) identical
+            # to the serial path.
+            for run_id in sorted(observed):
+                obs_dict, wall = observed[run_id]
+                obs.add_run(ObsContext.from_dict(obs_dict), wall)
     else:
         for run_id, run_scenario, key in pending:
             obs_ctx = None

@@ -1,0 +1,139 @@
+"""Fleet campaigns: many runs, many seeds, optional process pool.
+
+Mirrors :mod:`repro.core.campaign` for fleet scenarios: run *i* gets
+``base_seed + i`` and the runs execute either inline or sharded over a
+``multiprocessing`` pool.  Results are canonical (see
+:mod:`repro.core.fleet.result`), so the campaign digest is bit-identical
+across worker counts -- the pool only changes *where* runs execute,
+never what they compute.  Observability contexts are built per worker
+and folded through the exactly-mergeable :class:`~repro.obs.ObsAggregate`
+fold in sorted run order, same as the core engine.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from time import perf_counter
+from typing import Any, Callable, Dict, Optional, Sequence, Tuple
+
+from repro.core.fleet.result import FleetCampaignResult, FleetRunResult
+from repro.core.fleet.scenario import FleetScenario
+from repro.core.fleet.testbed import FleetTestbed
+
+ProgressFn = Callable[[int, int, FleetRunResult], None]
+
+
+def _execute_fleet_run(scenario: FleetScenario, run_id: int,
+                       observe: bool,
+                       ) -> Tuple[Dict[str, Any],
+                                  Optional[Dict[str, Any]], float]:
+    """Worker entry point: one fleet run, optionally instrumented.
+
+    Returns the run's canonical dict (picklable), the worker-local
+    observability context as a dict (or None), and the wall time.
+    Module-level so a ``multiprocessing`` pool can pickle it.
+    """
+    started = perf_counter()
+    obs_ctx = None
+    if observe:
+        from repro.obs import ObsContext
+
+        obs_ctx = ObsContext()
+    testbed = FleetTestbed(scenario, run_id=run_id, obs=obs_ctx)
+    result = testbed.run()
+    wall = perf_counter() - started
+    obs_dict = None if obs_ctx is None else obs_ctx.to_dict()
+    return result.to_dict(), obs_dict, wall
+
+
+def run_fleet_campaign(
+    scenario: Optional[FleetScenario] = None,
+    runs: int = 3,
+    base_seed: Optional[int] = None,
+    workers: int = 1,
+    progress: Optional[ProgressFn] = None,
+    obs=None,
+) -> FleetCampaignResult:
+    """Run *runs* fleet experiments, seeds ``base_seed .. base_seed+runs-1``.
+
+    With ``workers > 1`` runs shard across a process pool; the returned
+    campaign is bit-identical to the serial one (runs are collected in
+    run-id order and every run is self-contained).  Pass an
+    :class:`~repro.obs.ObsAggregate` as *obs* to collect per-run
+    observability; the pool path folds worker-local contexts through
+    the exact merge.
+    """
+    base = scenario or FleetScenario()
+    if base_seed is None:
+        base_seed = base.seed
+    jobs = [(base.with_seed(base_seed + index), index + 1)
+            for index in range(runs)]
+    observe = obs is not None
+    results: Dict[int, FleetRunResult] = {}
+    observed: Dict[int, Tuple[Dict[str, Any], float]] = {}
+
+    if workers > 1 and len(jobs) > 1:
+        import multiprocessing
+
+        context = multiprocessing.get_context("spawn")
+        with context.Pool(processes=workers) as pool:
+            async_results = {
+                run_id: pool.apply_async(
+                    _execute_fleet_run, (job_scenario, run_id, observe))
+                for job_scenario, run_id in jobs
+            }
+            for run_id in sorted(async_results):
+                run_dict, obs_dict, wall = async_results[run_id].get()
+                result = FleetRunResult.from_dict(run_dict)
+                results[run_id] = result
+                if obs_dict is not None:
+                    observed[run_id] = (obs_dict, wall)
+                if progress is not None:
+                    progress(run_id, len(jobs), result)
+    else:
+        for job_scenario, run_id in jobs:
+            run_dict, obs_dict, wall = _execute_fleet_run(
+                job_scenario, run_id, observe)
+            result = FleetRunResult.from_dict(run_dict)
+            results[run_id] = result
+            if obs_dict is not None:
+                observed[run_id] = (obs_dict, wall)
+            if progress is not None:
+                progress(run_id, len(jobs), result)
+
+    if obs is not None:
+        from repro.obs import ObsContext
+
+        # Deterministic fold order regardless of completion order.
+        for run_id in sorted(observed):
+            obs_dict, wall = observed[run_id]
+            obs.add_run(ObsContext.from_dict(obs_dict), wall)
+
+    ordered = [results[run_id] for run_id in sorted(results)]
+    return FleetCampaignResult(scenario=base, runs=ordered, obs=obs)
+
+
+def run_fleet_sweep(
+    sizes: Sequence[int],
+    scenario: Optional[FleetScenario] = None,
+    runs: int = 3,
+    base_seed: Optional[int] = None,
+    workers: int = 1,
+    progress: Optional[ProgressFn] = None,
+) -> Dict[int, FleetCampaignResult]:
+    """One campaign per fleet size in *sizes* (same seeds throughout)."""
+    base = scenario or FleetScenario()
+    out: Dict[int, FleetCampaignResult] = {}
+    for n_obus in sizes:
+        sized = dataclasses.replace(base, n_obus=n_obus)
+        out[n_obus] = run_fleet_campaign(
+            sized, runs=runs, base_seed=base_seed, workers=workers,
+            progress=progress)
+    return out
+
+
+__all__ = [
+    "run_fleet_campaign",
+    "run_fleet_sweep",
+    "_execute_fleet_run",
+]

@@ -140,7 +140,8 @@ class PlatoonMember:
 
     def __init__(self, sim: Simulator, scenario: PlatoonScenario,
                  index: int, x: float,
-                 predecessor: Optional["PlatoonMember"]):
+                 predecessor: Optional["PlatoonMember"],
+                 first_tick: Optional[float] = None):
         self.sim = sim
         self.scenario = scenario
         self.index = index
@@ -152,7 +153,13 @@ class PlatoonMember:
         self.emergency_engaged = False
         #: Actuation latency before brake force applies (s).
         self.actuation_delay = 0.012
-        sim.schedule(self.DT, self._tick)
+        # Fleet scenarios stagger members' first ticks so control
+        # updates never share a timestamp (follower control reads its
+        # predecessor's state, so tied ticks would be order-sensitive
+        # across tie-break policies); the default keeps the platoon
+        # experiment's shared DT grid.
+        sim.schedule(self.DT if first_tick is None else first_tick,
+                     self._tick)
 
     # The MessageHandler duck-types against MotionPlanner.
     def emergency_stop(self, reason: str = "denm") -> None:

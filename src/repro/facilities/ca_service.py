@@ -59,6 +59,11 @@ class CaConfig:
     path_history_points: int = 23
     #: CAM validity horizon when stored in a receiver's LDM (s).
     ldm_lifetime: float = 1.1
+    #: Delay before the first generation check (s); None keeps the
+    #: legacy ``t_check``.  Fleet scenarios give every station a
+    #: distinct phase so N stations never check at the same kernel
+    #: timestamp (tie-break invariance).
+    start_offset: Optional[float] = None
 
 
 CamCallback = Callable[[Cam], None]
@@ -104,7 +109,10 @@ class CaBasicService:
         self.cams_received = 0
         router.btp.register(BtpPort.CAM, self._on_payload)
         if enabled:
-            sim.schedule(self.config.t_check, self._check_tick)
+            first = (self.config.t_check
+                     if self.config.start_offset is None
+                     else self.config.start_offset)
+            sim.schedule(first, self._check_tick)
 
     # ------------------------------------------------------------------
     # Transmit side

@@ -142,6 +142,16 @@ class GeoNetRouter:
         self.packets_no_route = 0
         self.beacons_sent = 0
         self.beacons_received = 0
+        #: Optional DCC gatekeeper (duck-typed ``send(frame)``); when a
+        #: fleet station wires one in, every outgoing frame passes the
+        #: gate instead of going straight to the MAC.
+        self.gate: Optional[Any] = None
+        #: Optional order-free jitter draw for GBC/GUC re-forwarding,
+        #: ``packet -> delay (s)``.  The default per-station rng draw
+        #: depends on how many forwards this router did before -- which
+        #: at fleet scale varies with kernel tie-breaking; fleet wiring
+        #: replaces it with a hash of stable packet identity.
+        self.forward_jitter_fn: Optional[Callable[[GnPacket], float]] = None
         self._last_gn_transmission: Optional[float] = None
         nic.on_receive(self._on_frame)
         if enable_beaconing:
@@ -274,7 +284,18 @@ class GeoNetRouter:
         )
         self.packets_sent += 1
         self._last_gn_transmission = self.sim.now
-        self.nic.send(frame)
+        self._send_frame(frame)
+
+    def _send_frame(self, frame: Frame) -> None:
+        if self.gate is not None:
+            self.gate.send(frame)
+        else:
+            self.nic.send(frame)
+
+    def _forward_delay(self, packet: GnPacket) -> float:
+        if self.forward_jitter_fn is not None:
+            return float(self.forward_jitter_fn(packet))
+        return float(self.rng.uniform(0.0, FORWARD_JITTER))
 
     # ------------------------------------------------------------------
     # Beaconing
@@ -360,7 +381,7 @@ class GeoNetRouter:
             return
         forwarded = dataclasses.replace(
             packet, hop_limit=packet.hop_limit - 1, next_hop=next_hop)
-        delay = float(self.rng.uniform(0.0, FORWARD_JITTER))
+        delay = self._forward_delay(forwarded)
         self.packets_forwarded += 1
         self.sim.schedule(delay, lambda: self._put_on_air(forwarded))
 
@@ -380,7 +401,7 @@ class GeoNetRouter:
 
     def _schedule_forward(self, packet: GnPacket) -> None:
         forwarded = dataclasses.replace(packet, hop_limit=packet.hop_limit - 1)
-        delay = float(self.rng.uniform(0.0, FORWARD_JITTER))
+        delay = self._forward_delay(forwarded)
         self.sim.schedule(delay, lambda: self._forward(forwarded))
 
     def _forward(self, packet: GnPacket) -> None:
@@ -391,4 +412,4 @@ class GeoNetRouter:
             category=packet.traffic_class,
         )
         self.packets_forwarded += 1
-        self.nic.send(frame)
+        self._send_frame(frame)

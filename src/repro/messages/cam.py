@@ -8,6 +8,7 @@ dataclass used by application code.
 from __future__ import annotations
 
 import dataclasses
+import functools
 from typing import Optional, Tuple
 
 from repro.asn1 import (
@@ -350,8 +351,19 @@ class Cam:
 
     @staticmethod
     def decode(data: bytes) -> "Cam":
-        """Decode a UPER-encoded CAM."""
-        return Cam.from_asn(CAM_PDU.from_bytes(data))
+        """Decode a UPER-encoded CAM.
+
+        Decoding is pure and :class:`Cam` is immutable, so identical
+        payloads are memoised: one broadcast CAM is decoded by every
+        receiver in range, and at fleet scale the memo turns N
+        per-receiver decodes of the same frame into one.
+        """
+        return _decode_cam_cached(data)
+
+
+@functools.lru_cache(maxsize=4096)
+def _decode_cam_cached(data: bytes) -> Cam:
+    return Cam.from_asn(CAM_PDU.from_bytes(data))
 
 
 def generation_delta_time(its_timestamp_ms: int) -> int:

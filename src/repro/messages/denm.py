@@ -14,6 +14,7 @@ cause code 97 (Collision Risk).
 from __future__ import annotations
 
 import dataclasses
+import functools
 from typing import List, Optional, Tuple
 
 from repro.asn1 import (
@@ -446,8 +447,13 @@ class Denm:
 
     @staticmethod
     def decode(data: bytes) -> "Denm":
-        """Decode a UPER-encoded DENM."""
-        return Denm.from_asn(DENM_PDU.from_bytes(data))
+        """Decode a UPER-encoded DENM.
+
+        Memoised by payload (decoding is pure, :class:`Denm` is
+        immutable): every in-range receiver of one broadcast DENM
+        shares a single decode.
+        """
+        return _decode_denm_cached(data)
 
     @property
     def is_termination(self) -> bool:
@@ -459,6 +465,11 @@ class Denm:
         if self.event_type is None:
             return "DENM without situation container"
         return self.event_type.describe()
+
+
+@functools.lru_cache(maxsize=4096)
+def _decode_denm_cached(data: bytes) -> Denm:
+    return Denm.from_asn(DENM_PDU.from_bytes(data))
 
 
 def _delta_wire(delta_degrees: float, bound: int) -> int:

@@ -78,13 +78,18 @@ class ChannelBusyMonitor:
 
     def __init__(self, sim: Simulator, nic: NetworkInterface,
                  sample_period: float = 1e-3,
-                 history: float = 5.0):
+                 history: float = 5.0,
+                 start_offset: Optional[float] = None):
         self.sim = sim
         self.nic = nic
         self.sample_period = sample_period
         self._samples: Deque[bool] = deque(
             maxlen=max(1, int(history / sample_period)))
-        sim.schedule(sample_period, self._sample)
+        # Fleet scenarios phase-shift each station's sampling so no two
+        # monitors ever sample at the same kernel timestamp; the default
+        # keeps the legacy first sample at t + sample_period.
+        sim.schedule(sample_period if start_offset is None
+                     else start_offset, self._sample)
 
     def _sample(self) -> None:
         self._samples.append(self.nic.medium.is_busy_for(self.nic))
@@ -108,12 +113,17 @@ class DccGatekeeper:
     """
 
     def __init__(self, sim: Simulator, nic: NetworkInterface,
-                 parameters: Optional[DccParameters] = None):
+                 parameters: Optional[DccParameters] = None,
+                 start_offset: float = 0.0):
         self.sim = sim
         self.nic = nic
         self.parameters = parameters or DccParameters()
+        # A per-station phase (fleet scenarios) de-ties both the CBR
+        # sampling and the 1 Hz state updates across N stations.
         self.monitor = ChannelBusyMonitor(
-            sim, nic, self.parameters.sample_period)
+            sim, nic, self.parameters.sample_period,
+            start_offset=(self.parameters.sample_period + start_offset
+                          if start_offset > 0.0 else None))
         self.state = DccState.RELAXED
         self._queues: Dict[AccessCategory, Deque[Frame]] = {
             category: deque() for category in AccessCategory
@@ -123,8 +133,10 @@ class DccGatekeeper:
         self.frames_gated = 0
         self.frames_passed = 0
         self.frames_dropped = 0
+        self.state_transitions = 0
         self.state_changes: List[Tuple[float, DccState]] = []
-        sim.schedule(self.parameters.up_window, self._update_state)
+        sim.schedule(self.parameters.up_window + start_offset,
+                     self._update_state)
 
     # ------------------------------------------------------------------
     # State machine
@@ -146,9 +158,20 @@ class DccGatekeeper:
             new_state = DccState(int(self.state) + 1)
         elif demanded_down < self.state and demanded_up < self.state:
             new_state = DccState(int(self.state) - 1)
+        obs = self.sim.obs
+        if obs is not None:
+            obs.observe("net.cbr", up_cbr, device=self.nic.name)
         if new_state != self.state:
+            old_state = self.state
             self.state = new_state
+            self.state_transitions += 1
             self.state_changes.append((self.sim.now, new_state))
+            if obs is not None:
+                obs.count("dcc.state_transitions", device=self.nic.name,
+                          from_state=old_state.name,
+                          to_state=new_state.name)
+                obs.set_gauge("dcc.state", int(new_state),
+                              device=self.nic.name)
         self.sim.schedule(self.parameters.up_window, self._update_state)
 
     # ------------------------------------------------------------------
@@ -157,9 +180,15 @@ class DccGatekeeper:
 
     def send(self, frame: Frame) -> bool:
         """Submit *frame*; False if the gate queue tail-dropped it."""
-        if self._gate_open():
+        if self._gate_open() and not any(self._queues.values()):
             self._transmit(frame)
             return True
+        # A backlog means the frame must join its queue even if the
+        # gate is momentarily open: letting it overtake would starve
+        # queued higher-priority traffic whenever arrivals land on the
+        # t_off grid (e.g. CAMs at exactly 1/t_off beat the armed gate
+        # timer by its epsilon slack, forever).  The timer drains the
+        # queues highest-priority first.
         queue = self._queues[frame.category]
         if len(queue) >= self.parameters.queue_limit:
             self.frames_dropped += 1

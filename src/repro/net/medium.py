@@ -17,6 +17,7 @@ negligible compared to the microsecond MAC timing and is not modelled.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import itertools
 from typing import TYPE_CHECKING, Dict, List, Optional
 
@@ -55,6 +56,33 @@ class ChannelImpairment:
         return 0.0
 
 
+class OrderFreeReception:
+    """Order-independent per-reception uniform draws.
+
+    The legacy medium draws every packet-error check from one shared
+    generator, so the value a reception sees depends on how many other
+    receptions ran before it -- harmless for one station pair, but at
+    fleet scale same-timestamp completions make the draw order a
+    function of the kernel's tie-break policy.  This draw is keyed by
+    ``(seed, sender, the sender's own transmission index, receiver)``
+    instead: a station serialises its own transmissions, so the key --
+    and therefore the draw -- is identical under fifo, lifo and seeded
+    tie-breaking.  Opt-in via ``WirelessMedium(reception_draw=...)``;
+    the default medium keeps the shared-rng draw that existing golden
+    traces pin.
+    """
+
+    def __init__(self, seed: int):
+        self.seed = int(seed)
+
+    def uniform(self, sender: str, sequence: int, receiver: str) -> float:
+        """A U[0, 1) value unique to one (transmission, receiver) pair."""
+        digest = hashlib.sha256(
+            f"{self.seed}:rx:{sender}:{sequence}:{receiver}".encode("utf-8")
+        ).digest()
+        return int.from_bytes(digest[:8], "little") / 2.0 ** 64
+
+
 @dataclasses.dataclass
 class ReceptionInfo:
     """Delivered alongside a decoded frame."""
@@ -77,6 +105,14 @@ class _Transmission:
     #: interference energy (mW * overlap fraction) per receiver.
     interference_mw: Dict[str, float] = dataclasses.field(
         default_factory=dict)
+    #: The sender's own 0-based transmission index (tie-break invariant,
+    #: unlike the global tx_id).
+    sender_seq: int = 0
+    #: Receivers whose energy detection will see this frame.
+    audible: List[str] = dataclasses.field(default_factory=list)
+    #: Whether the audible counts currently include this transmission.
+    sensed: bool = False
+    completed: bool = False
 
 
 class WirelessMedium:
@@ -87,14 +123,36 @@ class WirelessMedium:
         sim: Simulator,
         rng: np.random.Generator,
         budget: Optional[LinkBudget] = None,
+        reception_draw: Optional[OrderFreeReception] = None,
+        cs_latency: float = 0.0,
     ):
+        if cs_latency < 0.0:
+            raise ValueError(f"cs_latency must be >= 0, got {cs_latency}")
         self.sim = sim
         self.rng = rng
         self.budget = budget or LinkBudget()
+        #: When set, packet-error draws come from this order-free hash
+        #: instead of the shared rng (fleet scenarios; see class doc).
+        self.reception_draw = reception_draw
+        #: Energy-detection latency (s).  0 keeps the legacy synchronous
+        #: carrier sense.  A positive value (fleet: one CCA slot worth,
+        #: ~4 us) defers the moment other stations sense a new frame, so
+        #: stations whose MAC timers expire at the *same instant* all
+        #: see an idle channel and collide -- regardless of the order
+        #: the kernel pops their tied events in.
+        self.cs_latency = cs_latency
         self._nics: Dict[str, "NetworkInterface"] = {}
         self._active: List[_Transmission] = []
         self._tx_ids = itertools.count(1)
         self._busy_state: Dict[str, bool] = {}
+        # Incremental carrier-sense bookkeeping: number of in-flight
+        # transmissions audible at / originated by each NIC.  Keeping
+        # these counts makes is_busy_for O(1) and the busy-state sweep
+        # O(N) instead of O(N * active).
+        self._audible_count: Dict[str, int] = {}
+        self._sending_count: Dict[str, int] = {}
+        # Per-sender transmission counters for OrderFreeReception keys.
+        self._tx_seq: Dict[str, int] = {}
         #: Fault-injection seam; None on the (unimpaired) happy path.
         self.impairment: Optional[ChannelImpairment] = None
         # Statistics
@@ -116,29 +174,35 @@ class WirelessMedium:
             raise ValueError(f"NIC name {nic.name!r} already attached")
         self._nics[nic.name] = nic
         self._busy_state[nic.name] = False
+        self._audible_count[nic.name] = 0
+        self._sending_count[nic.name] = 0
 
     def detach(self, nic: "NetworkInterface") -> None:
         """Remove *nic* from the channel."""
         self._nics.pop(nic.name, None)
         self._busy_state.pop(nic.name, None)
+        self._audible_count.pop(nic.name, None)
+        self._sending_count.pop(nic.name, None)
 
     # ------------------------------------------------------------------
     # Carrier sense
     # ------------------------------------------------------------------
 
     def is_busy_for(self, nic: "NetworkInterface") -> bool:
-        """Energy-detection carrier sense at *nic* (includes own TX)."""
-        for tx in self._active:
-            if tx.sender is nic:
-                return True
-            power = tx.rx_powers.get(nic.name)
-            if power is not None and power >= nic.phy.cs_threshold_dbm:
-                return True
-        return False
+        """Energy-detection carrier sense at *nic* (includes own TX).
+
+        O(1): audibility against each frozen ``cs_threshold_dbm`` is
+        decided once at transmission start and tracked incrementally.
+        """
+        return (self._sending_count.get(nic.name, 0) > 0
+                or self._audible_count.get(nic.name, 0) > 0)
 
     def _update_busy_states(self) -> None:
+        # Iterates the attach-order dict so busy/idle callbacks fire in
+        # the same order the legacy O(N * active) sweep produced.
         for name, nic in self._nics.items():
-            busy = self.is_busy_for(nic)
+            busy = (self._sending_count[name] > 0
+                    or self._audible_count[name] > 0)
             if busy != self._busy_state[name]:
                 self._busy_state[name] = busy
                 if busy:
@@ -160,6 +224,8 @@ class WirelessMedium:
             # (airtime is still charged) but nothing goes on the air.
             self.frames_suppressed += 1
             return duration
+        seq = self._tx_seq.get(sender.name, 0)
+        self._tx_seq[sender.name] = seq + 1
         tx = _Transmission(
             tx_id=next(self._tx_ids),
             sender=sender,
@@ -167,6 +233,7 @@ class WirelessMedium:
             start=now,
             end=now + duration,
             rx_powers={},
+            sender_seq=seq,
         )
         tx_pos = sender.position()
         for name, nic in self._nics.items():
@@ -181,21 +248,48 @@ class WirelessMedium:
             )
             tx.rx_powers[name] = power
             tx.interference_mw.setdefault(name, 0.0)
+            if power >= nic.phy.cs_threshold_dbm:
+                tx.audible.append(name)
         # Mutual interference with every overlapping transmission.
         for other in self._active:
             self._add_interference(other, tx)
             self._add_interference(tx, other)
         self._active.append(tx)
         self.frames_sent += 1
+        self._sending_count[sender.name] = (
+            self._sending_count.get(sender.name, 0) + 1)
         obs = self.sim.obs
         if obs is not None:
             obs.count("phy.frames_sent", device=sender.name)
             obs.record_span("phy.tx", now, now + duration,
                             device=sender.name)
             obs.observe("phy.airtime_ms", duration * 1000.0)
-        self._update_busy_states()
+            obs.observe("net.airtime_ms", duration * 1000.0,
+                        device=sender.name)
+        if self.cs_latency > 0.0:
+            # Other stations sense the frame only after the energy
+            # detector has had cs_latency to react; until then their
+            # MACs still see an idle channel.
+            self._update_busy_states()
+            self.sim.schedule(self.cs_latency, lambda: self._sense(tx))
+        else:
+            self._apply_sense(tx)
+            self._update_busy_states()
         self.sim.schedule(duration, lambda: self._complete(tx))
         return duration
+
+    def _apply_sense(self, tx: _Transmission) -> None:
+        tx.sensed = True
+        for name in tx.audible:
+            if name in self._audible_count:
+                self._audible_count[name] += 1
+
+    def _sense(self, tx: _Transmission) -> None:
+        """Deferred energy detection (cs_latency > 0)."""
+        if tx.completed:
+            return
+        self._apply_sense(tx)
+        self._update_busy_states()
 
     def _add_interference(self, victim: _Transmission,
                           interferer: _Transmission) -> None:
@@ -217,6 +311,13 @@ class WirelessMedium:
 
     def _complete(self, tx: _Transmission) -> None:
         self._active.remove(tx)
+        tx.completed = True
+        if tx.sender.name in self._sending_count:
+            self._sending_count[tx.sender.name] -= 1
+        if tx.sensed:
+            for name in tx.audible:
+                if name in self._audible_count:
+                    self._audible_count[name] -= 1
         for name, rx_power in tx.rx_powers.items():
             nic = self._nics.get(name)
             if nic is None:
@@ -246,7 +347,12 @@ class WirelessMedium:
                 nic.name, self.sim.now)
         sinr_linear = dbm_to_mw(rx_power_dbm) / (noise_mw + interference_mw)
         per = nic.phy.mcs.packet_error_rate(sinr_linear, tx.frame.wire_size)
-        if self.rng.random() < per:
+        if self.reception_draw is not None:
+            draw = self.reception_draw.uniform(
+                tx.sender.name, tx.sender_seq, nic.name)
+        else:
+            draw = float(self.rng.random())
+        if draw < per:
             if interference_mw > noise_mw:
                 self.frames_lost_collision += 1
                 nic.on_frame_lost(tx.frame, reason="collision")

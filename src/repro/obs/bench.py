@@ -69,6 +69,27 @@ BENCH_SCHEMA: Dict[str, Any] = {
         "spans": {"type": "object"},
         "wall_sites": {"type": "object"},
         "metrics": {"type": "object"},
+        "fleet": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["n_obus", "n_rsus", "wall_s",
+                             "kernel_events", "events_per_sec",
+                             "frames_sent", "frames_delivered",
+                             "cbr_mean"],
+                "properties": {
+                    "n_obus": {"type": "integer", "minimum": 1},
+                    "n_rsus": {"type": "integer", "minimum": 1},
+                    "wall_s": {"type": "number", "minimum": 0},
+                    "kernel_events": {"type": "number", "minimum": 0},
+                    "events_per_sec": {"type": "number"},
+                    "frames_sent": {"type": "integer", "minimum": 0},
+                    "frames_delivered": {"type": "integer",
+                                         "minimum": 0},
+                    "cbr_mean": {"type": "number", "minimum": 0},
+                },
+            },
+        },
     },
 }
 
@@ -93,14 +114,52 @@ def default_output_path(revision: Optional[str] = None) -> str:
     return f"BENCH_{revision or current_revision()}.json"
 
 
+#: The default fleet-size axis: solo / light / congested channel.
+DEFAULT_FLEET_SIZES = (1, 8, 32)
+
+
+def _bench_fleet(sizes: Any, base_seed: int) -> list:
+    """One instrumented fleet run per OBU count in *sizes*."""
+    from time import perf_counter
+
+    from repro.core.fleet import FleetScenario, FleetTestbed
+    from repro.obs.context import ObsContext
+
+    entries = []
+    for n_obus in sizes:
+        scenario = FleetScenario(n_obus=n_obus, n_rsus=2,
+                                 duration=5.0, seed=base_seed)
+        ctx = ObsContext()
+        started = perf_counter()
+        result = FleetTestbed(scenario, obs=ctx).run()
+        wall = perf_counter() - started
+        events = float(ctx.metrics.counter("kernel.events").value)
+        entries.append({
+            "n_obus": n_obus,
+            "n_rsus": scenario.n_rsus,
+            "wall_s": wall,
+            "kernel_events": events,
+            "events_per_sec": (events / wall if wall > 0
+                               else float("nan")),
+            "frames_sent": result.medium["sent"],
+            "frames_delivered": result.medium["delivered"],
+            "cbr_mean": result.mean_cbr,
+        })
+    return entries
+
+
 def run_bench(runs: int = 5, base_seed: int = 1,
+              fleet_sizes: Optional[Any] = None,
               progress: Optional[Any] = None) -> Dict[str, Any]:
     """Run the fixed grid instrumented; returns the validated payload.
 
     The grid is deliberately frozen -- the default
     :class:`~repro.core.scenario.EmergencyBrakeScenario` over *runs*
     consecutive seeds, serial, uncached -- so two artefacts from
-    different revisions measure the same work.
+    different revisions measure the same work.  *fleet_sizes* adds an
+    optional fleet-size axis: one instrumented
+    :class:`~repro.core.fleet.FleetTestbed` run per OBU count, so the
+    artefact also tracks how throughput scales with station count.
     """
     from repro.core.campaign import run_campaign_parallel
     from repro.core.scenario import EmergencyBrakeScenario
@@ -139,6 +198,8 @@ def run_bench(runs: int = 5, base_seed: int = 1,
         "wall_sites": obs.wall.to_dict(),
         "metrics": obs.metrics.to_dict(),
     }
+    if fleet_sizes is not None:
+        payload["fleet"] = _bench_fleet(fleet_sizes, base_seed)
     validate_bench(payload)
     return payload
 
@@ -215,6 +276,23 @@ def _validate_structurally(payload: Dict[str, Any]) -> None:
                      f"{section}[{name!r}] must carry {_STAT_KEYS}")
     _require(isinstance(payload["metrics"], dict),
              "metrics must be an object")
+    if "fleet" in payload:
+        fleet = payload["fleet"]
+        _require(isinstance(fleet, list), "fleet must be an array")
+        for index, entry in enumerate(fleet):
+            _require(isinstance(entry, dict),
+                     f"fleet[{index}] must be an object")
+            for key in ("n_obus", "n_rsus", "frames_sent",
+                        "frames_delivered"):
+                _require(isinstance(entry.get(key), int)
+                         and not isinstance(entry.get(key), bool)
+                         and entry[key] >= 0,
+                         f"fleet[{index}].{key}")
+            for key in ("wall_s", "kernel_events", "cbr_mean"):
+                _require(_finite_nonneg(entry.get(key)),
+                         f"fleet[{index}].{key}")
+            _require(_finite_number(entry.get("events_per_sec")),
+                     f"fleet[{index}].events_per_sec")
 
 
 def _finite_number(value: Any) -> bool:

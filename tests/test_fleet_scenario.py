@@ -1,0 +1,143 @@
+"""Fleet scenario / result layer: validation, canonical serialisation."""
+
+import json
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fleet import (
+    FleetScenario,
+    beacon_fleet,
+    blind_corner_fleet,
+    canonical_json,
+    convoy_fleet,
+    fleet_fingerprint,
+    fleet_runs_digest,
+    golden_scenario,
+)
+from repro.core.fleet.result import FleetCampaignResult, FleetRunResult
+
+
+def make_result(**overrides):
+    base = dict(
+        run_id=1, seed=1, n_obus=2, n_rsus=1, workload="beacon",
+        warning_time=2.0,
+        denm_latency_ms={"obu-0": 12.5, "obu-1": None},
+        denm_delivered=1, cams_sent=10, cams_received=8,
+        medium={"sent": 10, "delivered": 8, "lost_collision": 2},
+        dcc_state_transitions={"obu-0": 1, "obu-1": 0, "rsu-0": 2},
+        dcc_final_state={"obu-0": 1, "obu-1": 0, "rsu-0": 1},
+        cbr={"obu-0": 0.05, "obu-1": 0.0, "rsu-0": 0.07},
+        dcc_frames_dropped=0, verdict="N_A", min_gap=math.inf,
+        collisions=0, halted=0,
+    )
+    base.update(overrides)
+    return FleetRunResult(**base)
+
+
+class TestScenarioValidation:
+    def test_defaults_valid(self):
+        sc = FleetScenario()
+        assert sc.n_obus == 16
+        assert sc.workload == "beacon"
+
+    @pytest.mark.parametrize("kwargs", [
+        {"n_obus": 0},
+        {"n_rsus": 0},
+        {"workload": "carnival"},
+        {"workload": "convoy", "convoy_members": 40, "n_obus": 8},
+        {"duration": 1.0, "warning_after": 2.0},
+        {"cam_rate_hz": 0.0},
+    ])
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            FleetScenario(**kwargs)
+
+    def test_builders(self):
+        assert beacon_fleet(8).workload == "beacon"
+        assert convoy_fleet(8, convoy_members=3).convoy_members == 3
+        assert blind_corner_fleet(8).workload == "blind_corner"
+        golden = golden_scenario()
+        assert (golden.n_obus, golden.n_rsus) == (16, 2)
+        assert golden.workload == "blind_corner"
+
+    def test_with_seed(self):
+        sc = FleetScenario(seed=1)
+        assert sc.with_seed(9).seed == 9
+        assert sc.seed == 1  # frozen original untouched
+
+    def test_fingerprint_sensitive_to_fields(self):
+        a = fleet_fingerprint(FleetScenario(seed=1))
+        b = fleet_fingerprint(FleetScenario(seed=2))
+        c = fleet_fingerprint(FleetScenario(seed=1, n_obus=17))
+        assert a != b
+        assert a != c
+        assert a == fleet_fingerprint(FleetScenario(seed=1))
+
+
+class TestResultSerialisation:
+    def test_round_trip(self):
+        result = make_result()
+        clone = FleetRunResult.from_dict(result.to_dict())
+        assert clone == result
+
+    def test_round_trip_preserves_infinity(self):
+        result = make_result(min_gap=math.inf)
+        text = canonical_json(result.to_dict())
+        clone = FleetRunResult.from_dict(json.loads(text))
+        assert clone.min_gap == math.inf
+
+    def test_canonical_json_is_sorted_and_compact(self):
+        text = canonical_json(make_result().to_dict())
+        assert ": " not in text
+        parsed = json.loads(text)
+        assert list(parsed["cbr"]) == sorted(parsed["cbr"])
+
+    def test_digest_stable_and_order_sensitive(self):
+        runs = [make_result(run_id=1), make_result(run_id=2, seed=2)]
+        assert fleet_runs_digest(runs) == fleet_runs_digest(runs)
+        assert fleet_runs_digest(runs) != fleet_runs_digest(runs[::-1])
+
+    def test_helpers(self):
+        result = make_result()
+        assert result.latencies() == [12.5]
+        assert result.delivered_fraction == 0.5
+        assert result.total_dcc_transitions == 3
+        assert result.mean_cbr == pytest.approx(0.04)
+
+    def test_campaign_round_trip(self):
+        campaign = FleetCampaignResult(
+            scenario=FleetScenario(n_obus=3),
+            runs=[make_result(run_id=1), make_result(run_id=2, seed=2)])
+        clone = FleetCampaignResult.from_dict(
+            json.loads(canonical_json(campaign.to_dict())))
+        assert clone.scenario == campaign.scenario
+        assert clone.runs == campaign.runs
+        assert clone.digest() == campaign.digest()
+
+    def test_campaign_from_dict_rejects_forged_digest(self):
+        campaign = FleetCampaignResult(
+            scenario=FleetScenario(n_obus=3), runs=[make_result()])
+        payload = campaign.to_dict()
+        payload["digest"] = "0" * 64
+        with pytest.raises(ValueError):
+            FleetCampaignResult.from_dict(payload)
+
+    @given(latency=st.dictionaries(
+        st.sampled_from([f"obu-{i}" for i in range(6)]),
+        st.one_of(st.none(),
+                  st.floats(min_value=0.0, max_value=1e4,
+                            allow_nan=False)),
+        max_size=6))
+    @settings(max_examples=50, deadline=None)
+    def test_round_trip_any_latency_map(self, latency):
+        delivered = sum(1 for v in latency.values() if v is not None)
+        result = make_result(denm_latency_ms=latency,
+                             denm_delivered=delivered)
+        clone = FleetRunResult.from_dict(
+            json.loads(canonical_json(result.to_dict())))
+        assert clone == result
+        assert clone.delivered_fraction == (
+            delivered / len(latency) if latency else 0.0)

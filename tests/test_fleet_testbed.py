@@ -1,0 +1,145 @@
+"""Fleet testbed assembly and the three cooperative workloads."""
+
+import pytest
+
+from repro.core.fleet import (
+    FleetScenario,
+    FleetTestbed,
+    beacon_fleet,
+    blind_corner_fleet,
+    convoy_fleet,
+    run_fleet,
+)
+from repro.obs import ObsContext
+
+
+def small(workload="beacon", **overrides):
+    """A fast fleet scenario for unit tests."""
+    builders = {"beacon": beacon_fleet, "convoy": convoy_fleet,
+                "blind_corner": blind_corner_fleet}
+    overrides.setdefault("duration", 4.0)
+    return builders[workload](n_obus=overrides.pop("n_obus", 6),
+                              n_rsus=overrides.pop("n_rsus", 1),
+                              **overrides)
+
+
+class TestAssembly:
+    def test_station_counts_and_shared_medium(self):
+        tb = FleetTestbed(small(n_obus=6, n_rsus=2))
+        assert len(tb.obus) == 6
+        assert len(tb.rsus) == 2
+        media = {u.station.nic.medium for u in [*tb.rsus, *tb.obus]}
+        assert len(media) == 1  # one congested channel
+
+    def test_every_station_has_gate_and_jitter(self):
+        tb = FleetTestbed(small())
+        for unit in [*tb.rsus, *tb.obus]:
+            assert unit.station.router.gate is tb.gates[unit.name]
+            assert unit.station.router.forward_jitter_fn is not None
+
+    def test_dcc_disabled_leaves_router_ungated(self):
+        tb = FleetTestbed(small(dcc_enabled=False))
+        assert tb.gates == {}
+        assert all(u.station.router.gate is None
+                   for u in [*tb.rsus, *tb.obus])
+
+    def test_participants_match_workload(self):
+        assert len(FleetTestbed(small("beacon")).members) == 0
+        assert len(FleetTestbed(
+            small("convoy", convoy_members=3)).members) == 3
+        assert len(FleetTestbed(small("blind_corner")).members) == 1
+
+    def test_forward_jitter_is_stable_and_bounded(self):
+        from repro.geonet.router import FORWARD_JITTER
+
+        tb = FleetTestbed(small())
+        router = tb.obus[0].station.router
+        packet = router.send_shb(b"x", 2001)
+        first = router.forward_jitter_fn(packet)
+        assert 0.0 <= first < FORWARD_JITTER
+        assert router.forward_jitter_fn(packet) == first
+
+
+class TestWorkloads:
+    def test_beacon_delivers_denm_to_all(self):
+        result = run_fleet(small("beacon"))
+        assert result.verdict == "N_A"
+        assert result.denm_delivered == result.n_obus
+        assert all(v is not None and v > 0.0
+                   for v in result.denm_latency_ms.values())
+
+    def test_convoy_stops_without_pileup(self):
+        result = run_fleet(small("convoy", duration=8.0))
+        assert result.verdict == "SAFE"
+        assert result.halted == 4
+        assert result.collisions == 0
+        assert result.min_gap > 0.0
+
+    def test_blind_corner_protagonist_stops_short(self):
+        result = run_fleet(small("blind_corner", duration=8.0))
+        assert result.verdict == "SAFE"
+        assert result.halted == 1
+
+    def test_no_warning_without_rsu_reachability(self):
+        # Sub-sensitivity radio: nobody hears anything, nobody stops.
+        result = run_fleet(small("blind_corner", duration=8.0,
+                                 tx_power_dbm=-120.0))
+        assert result.denm_delivered == 0
+        assert result.verdict == "NO_STOP"
+
+    def test_cam_load_scales_with_fleet(self):
+        lean = run_fleet(small(n_obus=2))
+        full = run_fleet(small(n_obus=10))
+        assert full.cams_sent > lean.cams_sent
+        assert full.medium["sent"] > lean.medium["sent"]
+
+
+class TestMetrics:
+    def test_obs_exports_fleet_metrics(self):
+        ctx = ObsContext()
+        result = FleetTestbed(small(n_obus=8), obs=ctx).run()
+        exported = ctx.metrics.to_dict()
+        cbr_series = [key for key in exported if "net.cbr" in key]
+        airtime = [key for key in exported if "net.airtime_ms" in key]
+        latency = [key for key in exported
+                   if "net.denm_latency_ms" in key]
+        assert cbr_series, "net.cbr must be exported per station"
+        assert airtime, "per-station airtime must be exported"
+        assert len(latency) == result.denm_delivered
+
+    def test_dcc_reacts_to_congestion(self):
+        result = run_fleet(small(n_obus=10))
+        assert result.total_dcc_transitions > 0
+        assert any(v > 0.0 for v in result.cbr.values())
+        assert set(result.dcc_final_state) == set(result.cbr)
+
+    def test_run_id_and_seed_recorded(self):
+        scenario = small().with_seed(7)
+        result = FleetTestbed(scenario, run_id=3).run()
+        assert result.run_id == 3
+        assert result.seed == 7
+
+
+class TestEventVolume:
+    def test_kernel_events_scale_subquadratically(self):
+        # The medium must not do O(N^2) per-frame bookkeeping work:
+        # kernel event volume grows with stations and their traffic,
+        # not with the square of receivers per frame.
+        counts = {}
+        for n in (4, 8, 16):
+            ctx = ObsContext()
+            FleetTestbed(small(n_obus=n), obs=ctx).run()
+            counts[n] = float(
+                ctx.metrics.counter("kernel.events").value)
+        growth_small = counts[8] / counts[4]
+        growth_large = counts[16] / counts[8]
+        assert growth_large < 4.0, (
+            f"event volume quadrupling per doubling: {counts}")
+        assert growth_large <= growth_small * 2.0
+
+    @pytest.mark.slow
+    def test_64_obu_fleet_runs(self):
+        result = run_fleet(FleetScenario(n_obus=64, n_rsus=4,
+                                         duration=4.0))
+        assert result.denm_delivered > 0
+        assert result.total_dcc_transitions > 0

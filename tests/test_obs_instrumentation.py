@@ -37,9 +37,10 @@ class TestBitIdentity:
         plain = run_campaign_parallel(FAST, runs=3, base_seed=5,
                                       workers=1)
         aggregate = ObsAggregate()
-        # workers=4 on purpose: an instrumented campaign silently
-        # falls back to serial in-process execution, and must still
-        # match the uninstrumented parallel population bit for bit.
+        # workers=4 on purpose: instrumented campaigns shard across
+        # the pool (per-worker contexts merge through the exact fold)
+        # and must still match the uninstrumented parallel population
+        # bit for bit.
         observed = run_campaign_parallel(FAST, runs=3, base_seed=5,
                                          workers=4, obs=aggregate)
         assert as_dicts(observed) == as_dicts(plain)
