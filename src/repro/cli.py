@@ -13,6 +13,11 @@ Subcommands:
   sharing one channel, sweepable over fleet sizes;
 * ``bench`` -- the fixed perf grid, writing ``BENCH_<rev>.json``
   (``--fleet-sizes`` adds a fleet-size axis);
+* ``bench-gate`` -- compare a fresh bench artefact against a
+  committed baseline with warn/fail tolerance bands;
+* ``vary`` -- the scenario-space variation engine: sample a declared
+  spec (grid / LHS / adaptive boundary refinement), run every point,
+  and emit a canonical coverage report;
 * ``trace`` -- one traced run as canonical JSONL + step timeline
   (``--update-golden`` refreshes the golden-trace fixtures);
 * ``lint`` -- the detlint determinism linter (rules DET001..DET008
@@ -25,6 +30,12 @@ Examples::
     repro-testbed campaign --runs 50 --workers 4 --cache-dir .runs
     repro-testbed platoon --interface 5g_leader --members 5
     repro-testbed bench --runs 5
+    repro-testbed bench-gate --fresh BENCH_abc.json \
+        --baseline BENCH_192981b.json
+    repro-testbed vary run --spec blind-corner-demo \
+        --sampler adaptive --points 8 --report coverage.json
+    repro-testbed vary sample --spec brake-demo --sampler lhs \
+        --points 12
     repro-testbed trace --update-golden
 
 ``campaign``, ``cdf``, ``faults`` and ``report`` accept
@@ -353,6 +364,42 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench_gate(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.bench import validate_bench
+    from repro.obs.benchgate import compare_bench, render_gate
+
+    payloads = {}
+    for label, path in (("baseline", args.baseline),
+                        ("fresh", args.fresh)):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError) as error:
+            raise SystemExit(
+                f"repro-testbed: error: cannot read --{label} "
+                f"{path!r} ({error})") from error
+        try:
+            validate_bench(payload)
+        except ValueError as error:
+            raise SystemExit(
+                f"repro-testbed: error: --{label} {path!r} is not a "
+                f"valid bench artefact ({error})") from error
+        payloads[label] = payload
+    result = compare_bench(payloads["baseline"], payloads["fresh"],
+                           warn_ratio=args.warn,
+                           fail_ratio=args.fail)
+    print(render_gate(result), end="")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(result.to_dict(), handle, indent=2,
+                      sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    return 1 if result.failed else 0
+
+
 def _fleet_progress(run_id: int, total: int, result) -> None:
     print(f"  [{run_id}/{total}] seed {result.seed}: "
           f"{result.denm_delivered}/{result.n_obus} warned, "
@@ -601,6 +648,35 @@ def build_parser() -> argparse.ArgumentParser:
                               help="also bench fleet scenarios at "
                                    "these OBU counts (e.g. 1,8,32)")
     bench_parser.set_defaults(func=cmd_bench)
+
+    gate_parser = sub.add_parser(
+        "bench-gate", help="compare a fresh bench artefact against a "
+                           "committed baseline (warn/fail bands)")
+    gate_parser.add_argument("--fresh", required=True, metavar="FILE",
+                             help="the just-measured BENCH_*.json")
+    gate_parser.add_argument("--baseline", required=True,
+                             metavar="FILE",
+                             help="the committed reference "
+                                  "BENCH_*.json")
+    gate_parser.add_argument("--warn", type=float, default=0.25,
+                             metavar="RATIO",
+                             help="warn when a metric is this "
+                                  "fraction worse (default 0.25)")
+    gate_parser.add_argument("--fail", type=float, default=3.0,
+                             metavar="RATIO",
+                             help="fail when a metric is this "
+                                  "fraction worse (default 3.0)")
+    gate_parser.add_argument("--json", default=None, metavar="FILE",
+                             help="write the per-metric verdicts as "
+                                  "JSON")
+    gate_parser.set_defaults(func=cmd_bench_gate)
+
+    vary_parser = sub.add_parser(
+        "vary", help="scenario-space variation engine "
+                     "(sample / run / coverage-report)")
+    from repro.vary.cli import add_arguments as add_vary_arguments
+
+    add_vary_arguments(vary_parser)
 
     fleet_parser = sub.add_parser(
         "fleet", help="fleet-scale congestion campaign "

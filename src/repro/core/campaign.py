@@ -29,14 +29,13 @@ from __future__ import annotations
 
 import concurrent.futures
 import dataclasses
-import hashlib
 import json
 import os
 import tempfile
 from time import perf_counter
 from typing import Callable, Optional, TYPE_CHECKING
 
-import repro
+from repro.core.fingerprint import spec_fingerprint
 from repro.core.measurement import RunMeasurement
 from repro.core.scenario import EmergencyBrakeScenario
 
@@ -52,7 +51,12 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 #: v3: the kernel tie-break policy (``scenario.tie_break``) is a
 #: scenario field and therefore part of the fingerprint -- cached
 #: runs can never mix tie-break policies.
-CACHE_FORMAT = 3
+#: v4: fingerprints go through the shared
+#: :func:`~repro.core.fingerprint.spec_fingerprint` helper
+#: (``"scenario-v4:..."`` hashed text) and carry an optional *salt*,
+#: so variation campaigns cache under (spec hash, point hash, seed)
+#: without ever colliding with plain campaign entries.
+CACHE_FORMAT = 4
 
 
 # ---------------------------------------------------------------------------
@@ -61,7 +65,8 @@ CACHE_FORMAT = 3
 
 
 def scenario_fingerprint(scenario: EmergencyBrakeScenario,
-                         fault_plan: Optional["FaultPlan"] = None) -> str:
+                         fault_plan: Optional["FaultPlan"] = None,
+                         salt: Optional[str] = None) -> str:
     """A stable SHA-256 key for one ``(scenario, plan, seed)`` item.
 
     The frozen scenario dataclass (nested configs included) is
@@ -71,23 +76,20 @@ def scenario_fingerprint(scenario: EmergencyBrakeScenario,
     scenario field (the seed included), any fault parameter or the
     package itself changes the key; an absent plan and an *empty*
     plan fingerprint identically, because they run identically.
+
+    *salt* namespaces callers that derive scenarios from a wider
+    context: the variation engine passes ``"<spec hash>:<point
+    hash>"`` so varied runs cache under (spec, point, seed) and can
+    never collide with a plain campaign over the same scenario.
     """
     plan_dict = None
     if fault_plan is not None and not fault_plan.is_empty:
         plan_dict = fault_plan.to_dict()
-    payload = json.dumps(
-        {
-            "scenario": dataclasses.asdict(scenario),
-            "fault_plan": plan_dict,
-            "version": repro.__version__,
-        },
-        sort_keys=True,
-        separators=(",", ":"),
-        default=repr,
-    )
-    digest = hashlib.sha256(
-        f"v{CACHE_FORMAT}:{payload}".encode("utf-8"))
-    return digest.hexdigest()
+    return spec_fingerprint("scenario", CACHE_FORMAT, {
+        "scenario": dataclasses.asdict(scenario),
+        "fault_plan": plan_dict,
+        "salt": salt,
+    })
 
 
 # ---------------------------------------------------------------------------
@@ -208,6 +210,7 @@ def run_campaign_parallel(
     progress: Optional[ProgressCallback] = None,
     fault_plan: Optional["FaultPlan"] = None,
     obs: Optional["ObsAggregate"] = None,
+    cache_salt: Optional[str] = None,
 ) -> "CampaignResult":
     """Run *runs* repetitions of *scenario*, sharded over *workers*.
 
@@ -235,6 +238,10 @@ def run_campaign_parallel(
     which are real measured times and never deterministic).
     Instrumentation never touches RNG draws or event scheduling, so
     measurements stay bit-identical to an unobserved campaign.
+
+    *cache_salt* is folded into every run's cache fingerprint (see
+    :func:`scenario_fingerprint`); it never changes what is simulated,
+    only under which key the result is cached.
     """
     from repro.core.testbed import CampaignResult
 
@@ -267,7 +274,8 @@ def run_campaign_parallel(
     for index in range(runs):
         run_id = index + 1
         run_scenario = scenario.with_seed(base_seed + index)
-        key = scenario_fingerprint(run_scenario, fault_plan) \
+        key = scenario_fingerprint(run_scenario, fault_plan,
+                                   salt=cache_salt) \
             if cache else None
         if cache is not None:
             hit = cache.get(key)

@@ -1,0 +1,56 @@
+"""Shared fingerprinting for frozen specs.
+
+Every frozen, declarative spec in the testbed -- the emergency-brake
+scenario, the fleet scenario, fault plans, and the variation engine's
+scenario-space specs -- needs the same thing: a stable SHA-256 key
+over its canonical JSON form, versioned so that format changes
+invalidate old cache entries instead of colliding with them.
+
+:func:`spec_fingerprint` is that one helper.  A fingerprint is::
+
+    sha256("<kind>-v<format>:" + canonical_json(payload + version))
+
+where *kind* namespaces the spec family (``"scenario"``, ``"fleet"``,
+``"vary"``, ``"fault-plan"``), *format* is the family's format-version
+constant (bumped when run semantics or serialisation change), and the
+installed package version is always folded in, so upgrading the
+package re-computes everything.  Two different kinds can never
+collide, whatever their payloads, because the kind is part of the
+hashed text.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict
+
+import repro
+
+
+def canonical_json(payload: Any) -> str:
+    """The canonical JSON text fingerprints and digests hash over.
+
+    Sorted keys, no whitespace, exact float reprs; non-JSON values
+    fall back to ``repr`` (stable for the frozen dataclasses used in
+    specs).
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"),
+                      default=repr)
+
+
+def spec_fingerprint(kind: str, format_version: object,
+                     payload: Dict[str, Any]) -> str:
+    """A stable SHA-256 key for one frozen spec.
+
+    *payload* is the spec's canonical dict form (the caller decides
+    what identifies a run: scenario fields, fault plan, salt, ...);
+    the installed package version is folded in automatically under the
+    reserved key ``"version"``.
+    """
+    body = dict(payload)
+    body["version"] = repro.__version__
+    text = canonical_json(body)
+    digest = hashlib.sha256(
+        f"{kind}-v{format_version}:{text}".encode("utf-8"))
+    return digest.hexdigest()

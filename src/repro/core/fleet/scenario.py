@@ -26,10 +26,8 @@ gate actually transitions states during the run.
 from __future__ import annotations
 
 import dataclasses
-import hashlib
-import json
 
-import repro
+from repro.core.fingerprint import spec_fingerprint
 
 #: Bump when fleet run semantics change; part of the fingerprint.
 FLEET_FORMAT = 1
@@ -128,18 +126,15 @@ class FleetScenario:
 
 
 def fleet_fingerprint(scenario: FleetScenario) -> str:
-    """A stable SHA-256 key for one fleet scenario (seed included)."""
-    payload = json.dumps(
-        {
-            "scenario": dataclasses.asdict(scenario),
-            "version": repro.__version__,
-        },
-        sort_keys=True,
-        separators=(",", ":"),
-        default=repr,
-    )
-    return hashlib.sha256(
-        f"fleet-v{FLEET_FORMAT}:{payload}".encode("utf-8")).hexdigest()
+    """A stable SHA-256 key for one fleet scenario (seed included).
+
+    Delegates to the shared :func:`~repro.core.fingerprint.
+    spec_fingerprint` helper; the hashed text is byte-identical to the
+    pre-helper construction, so committed golden fixtures stay valid.
+    """
+    return spec_fingerprint("fleet", FLEET_FORMAT, {
+        "scenario": dataclasses.asdict(scenario),
+    })
 
 
 # ---------------------------------------------------------------------------

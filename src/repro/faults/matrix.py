@@ -145,13 +145,17 @@ def run_fault_matrix(
     cache_dir: Optional[str] = None,
     envelope: Optional[SafetyEnvelope] = None,
     progress: Optional[MatrixProgress] = None,
+    cache_salt: Optional[str] = None,
 ) -> FaultMatrixResult:
     """Run every plan over the same seed population and classify.
 
     Plans execute in the given order; within one plan the runs shard
     over *workers* exactly like an ordinary campaign (``workers=0``
     auto-sizes).  Rows come back in plan order with verdicts ordered
-    by run_id, so the result is invariant to scheduling.
+    by run_id, so the result is invariant to scheduling.  A
+    *cache_salt* is forwarded into every run's cache fingerprint (the
+    variation engine namespaces its points this way); it never changes
+    what is simulated.
     """
     scenario = scenario or EmergencyBrakeScenario()
     envelope = envelope or SafetyEnvelope()
@@ -159,7 +163,8 @@ def run_fault_matrix(
     for index, plan in enumerate(plans):
         result = run_campaign_parallel(
             scenario, runs=runs, base_seed=base_seed, workers=workers,
-            cache_dir=cache_dir, fault_plan=plan)
+            cache_dir=cache_dir, fault_plan=plan,
+            cache_salt=cache_salt)
         verdicts = [evaluate(measurement, envelope)
                     for measurement in result.runs]
         rows.append(FaultMatrixRow(plan=plan, verdicts=verdicts))

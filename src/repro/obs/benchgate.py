@@ -1,0 +1,253 @@
+"""Bench regression gate: fresh bench vs committed baseline.
+
+Compares two ``BENCH_<rev>.json`` payloads (:mod:`repro.obs.bench`)
+metric by metric and classifies each as ``ok`` / ``warn`` / ``fail``
+against tolerance bands:
+
+* throughput metrics (``wall.runs_per_sec``,
+  ``kernel.events_per_sec``, per-fleet-size ``events_per_sec``) --
+  higher is better; a *drop* beyond the band is a regression;
+* latency metrics (per-span and per-wall-site ``mean_s``) -- lower is
+  better; a *rise* beyond the band is a regression.
+
+Each metric's ``ratio`` is normalised so that 0.0 means unchanged and
+positive means *worse* (e.g. ``+0.30`` = 30% slower).  Within
+``warn_ratio`` the metric is ``ok``; between ``warn_ratio`` and
+``fail_ratio`` it is ``warn`` (CI stays green but prints loudly);
+beyond ``fail_ratio`` it is ``fail`` and the gate exits non-zero.
+Bench numbers on shared CI runners are noisy, so the shipped defaults
+are deliberately generous -- the gate is for order-of-magnitude
+regressions, not single-digit percent drift.
+
+Metrics present on only one side are reported as ``new`` / ``gone``
+and never fail the gate (the bench grid is allowed to grow).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List, Mapping, Tuple
+
+#: Default tolerance bands (see module docstring).
+DEFAULT_WARN_RATIO = 0.25
+DEFAULT_FAIL_RATIO = 3.0
+
+#: Gate statuses, in increasing severity.
+STATUSES = ("ok", "warn", "fail", "new", "gone")
+
+
+def _throughput_metrics(payload: Mapping[str, Any],
+                        ) -> Dict[str, float]:
+    """name -> value for all higher-is-better metrics of a payload."""
+    out: Dict[str, float] = {
+        "wall.runs_per_sec": float(payload["wall"]["runs_per_sec"]),
+        "kernel.events_per_sec":
+            float(payload["kernel"]["events_per_sec"]),
+    }
+    for entry in payload.get("fleet", []):
+        name = f"fleet.n{entry['n_obus']}.events_per_sec"
+        out[name] = float(entry["events_per_sec"])
+    return out
+
+
+def _latency_metrics(payload: Mapping[str, Any]) -> Dict[str, float]:
+    """name -> value for all lower-is-better metrics of a payload."""
+    out: Dict[str, float] = {}
+    for section in ("spans", "wall_sites"):
+        for name in sorted(payload.get(section, {})):
+            stats = payload[section][name]
+            out[f"{section}.{name}.mean_s"] = float(stats["mean_s"])
+    return out
+
+
+def regression_ratio(baseline: float, fresh: float,
+                     higher_is_better: bool) -> float:
+    """How much worse *fresh* is than *baseline* (0.0 = unchanged).
+
+    For throughput, ``+0.5`` means the fresh value is 50% *slower*
+    (baseline/fresh - 1); for latency, 50% higher mean.  Negative
+    values are improvements.  Degenerate baselines (zero) compare as
+    unchanged -- there is nothing meaningful to gate against.
+    """
+    if higher_is_better:
+        if fresh <= 0.0 or baseline <= 0.0:
+            return 0.0
+        return baseline / fresh - 1.0
+    if baseline <= 0.0:
+        return 0.0
+    return fresh / baseline - 1.0
+
+
+@dataclasses.dataclass(frozen=True)
+class MetricComparison:
+    """One metric's baseline-vs-fresh verdict."""
+
+    name: str
+    #: ``throughput`` (higher better) or ``latency`` (lower better).
+    kind: str
+    baseline: float
+    fresh: float
+    #: Normalised regression (0 = unchanged, positive = worse).
+    ratio: float
+    #: ``ok`` / ``warn`` / ``fail`` / ``new`` / ``gone``.
+    status: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Canonical JSON-serialisable form."""
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "baseline": self.baseline,
+            "fresh": self.fresh,
+            "ratio": self.ratio,
+            "status": self.status,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "MetricComparison":
+        """Rebuild a comparison serialised by :meth:`to_dict`."""
+        return cls(
+            name=str(data["name"]),
+            kind=str(data["kind"]),
+            baseline=float(data["baseline"]),
+            fresh=float(data["fresh"]),
+            ratio=float(data["ratio"]),
+            status=str(data["status"]),
+        )
+
+
+@dataclasses.dataclass
+class BenchGateResult:
+    """The whole gate outcome: per-metric rows + the overall verdict."""
+
+    baseline_revision: str
+    fresh_revision: str
+    warn_ratio: float
+    fail_ratio: float
+    comparisons: List[MetricComparison]
+
+    @property
+    def failed(self) -> bool:
+        """Whether any metric regressed beyond the fail band."""
+        return any(entry.status == "fail"
+                   for entry in self.comparisons)
+
+    @property
+    def warned(self) -> bool:
+        """Whether any metric landed in the warn band."""
+        return any(entry.status == "warn"
+                   for entry in self.comparisons)
+
+    def counts(self) -> Dict[str, int]:
+        """status -> how many metrics got it (every status present)."""
+        return {status: sum(1 for entry in self.comparisons
+                            if entry.status == status)
+                for status in STATUSES}
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Canonical JSON-serialisable form."""
+        return {
+            "baseline_revision": self.baseline_revision,
+            "fresh_revision": self.fresh_revision,
+            "warn_ratio": self.warn_ratio,
+            "fail_ratio": self.fail_ratio,
+            "comparisons": [entry.to_dict()
+                            for entry in self.comparisons],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "BenchGateResult":
+        """Rebuild a gate result serialised by :meth:`to_dict`."""
+        return cls(
+            baseline_revision=str(data["baseline_revision"]),
+            fresh_revision=str(data["fresh_revision"]),
+            warn_ratio=float(data["warn_ratio"]),
+            fail_ratio=float(data["fail_ratio"]),
+            comparisons=[MetricComparison.from_dict(entry)
+                         for entry in data["comparisons"]],
+        )
+
+
+def _classify(ratio: float, warn_ratio: float,
+              fail_ratio: float) -> str:
+    if ratio > fail_ratio:
+        return "fail"
+    if ratio > warn_ratio:
+        return "warn"
+    return "ok"
+
+
+def compare_bench(baseline: Mapping[str, Any],
+                  fresh: Mapping[str, Any],
+                  warn_ratio: float = DEFAULT_WARN_RATIO,
+                  fail_ratio: float = DEFAULT_FAIL_RATIO,
+                  ) -> BenchGateResult:
+    """Gate *fresh* against *baseline* with the given bands."""
+    if not 0.0 <= warn_ratio <= fail_ratio:
+        raise ValueError(
+            f"need 0 <= warn_ratio <= fail_ratio, got "
+            f"{warn_ratio} / {fail_ratio}")
+    sides: Tuple[Tuple[str, bool], ...] = (
+        ("throughput", True), ("latency", False))
+    comparisons: List[MetricComparison] = []
+    for kind, higher_is_better in sides:
+        extract = (_throughput_metrics if higher_is_better
+                   else _latency_metrics)
+        base_metrics = extract(baseline)
+        fresh_metrics = extract(fresh)
+        for name in sorted(set(base_metrics) | set(fresh_metrics)):
+            if name not in fresh_metrics:
+                comparisons.append(MetricComparison(
+                    name=name, kind=kind,
+                    baseline=base_metrics[name], fresh=0.0,
+                    ratio=0.0, status="gone"))
+                continue
+            if name not in base_metrics:
+                comparisons.append(MetricComparison(
+                    name=name, kind=kind, baseline=0.0,
+                    fresh=fresh_metrics[name], ratio=0.0,
+                    status="new"))
+                continue
+            ratio = regression_ratio(base_metrics[name],
+                                     fresh_metrics[name],
+                                     higher_is_better)
+            comparisons.append(MetricComparison(
+                name=name, kind=kind,
+                baseline=base_metrics[name],
+                fresh=fresh_metrics[name], ratio=ratio,
+                status=_classify(ratio, warn_ratio, fail_ratio)))
+    return BenchGateResult(
+        baseline_revision=str(baseline.get("revision", "unknown")),
+        fresh_revision=str(fresh.get("revision", "unknown")),
+        warn_ratio=warn_ratio,
+        fail_ratio=fail_ratio,
+        comparisons=comparisons,
+    )
+
+
+def render_gate(result: BenchGateResult) -> str:
+    """A deterministic plain-text summary of one gate run."""
+    lines: List[str] = []
+    lines.append(f"bench gate: {result.baseline_revision} -> "
+                 f"{result.fresh_revision}  "
+                 f"(warn > {result.warn_ratio:+.0%}, "
+                 f"fail > {result.fail_ratio:+.0%})")
+    width = max((len(entry.name) for entry in result.comparisons),
+                default=0)
+    for entry in sorted(result.comparisons,
+                        key=lambda entry: (-entry.ratio, entry.name)):
+        if entry.status in ("new", "gone"):
+            lines.append(f"  [{entry.status.upper():<4}] "
+                         f"{entry.name:<{width}}")
+            continue
+        lines.append(f"  [{entry.status.upper():<4}] "
+                     f"{entry.name:<{width}} "
+                     f"{entry.baseline:12.4g} -> "
+                     f"{entry.fresh:12.4g}  "
+                     f"({entry.ratio:+.1%})")
+    counts = result.counts()
+    summary = "  ".join(f"{status}={counts[status]}"
+                        for status in STATUSES if counts[status])
+    lines.append(f"verdict: "
+                 f"{'FAIL' if result.failed else 'PASS'}  ({summary})")
+    return "\n".join(lines) + "\n"

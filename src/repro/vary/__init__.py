@@ -1,0 +1,116 @@
+"""Deterministic scenario-space variation engine.
+
+``repro.vary`` sweeps the testbed's scenario space instead of running
+one configuration at a time: a frozen, fingerprintable
+:class:`~repro.vary.space.VariationSpec` declares typed axes over
+scenario knobs; deterministic samplers (full grid, Latin Hypercube,
+adaptive boundary refinement) turn it into points; the campaign layer
+runs every point through the existing parallel engines and folds the
+outcomes into an exactly-mergeable coverage model whose canonical
+report names the under-explored and failing regions of the space.
+
+Everything downstream of ``(spec, sampler, seed)`` is byte-identical
+across worker counts and kernel tie-break policies.  See
+ARCHITECTURE.md §13 and the ``repro vary`` CLI.
+"""
+
+from repro.vary.campaign import (
+    PointResult,
+    VERDICT_SEVERITY,
+    VariationResult,
+    VaryProgress,
+    blind_corner_demo,
+    brake_demo,
+    demo_specs,
+    run_variation_campaign,
+    sample_only,
+    worst_verdict,
+)
+from repro.vary.coverage import (
+    CoverageModel,
+    LATENCY_BUCKETS_MS,
+    REPORT_SCHEMA,
+    REPORT_SCHEMA_VERSION,
+    build_report,
+    classify_region,
+    region_label,
+    render_report,
+    report_digest,
+    report_json,
+    validate_report,
+)
+from repro.vary.materialize import MaterializedPoint, materialize
+from repro.vary.samplers import (
+    NEUTRAL_VERDICTS,
+    Refinement,
+    SAFE_VERDICTS,
+    SAMPLERS,
+    grid_points,
+    is_safe_verdict,
+    lhs_points,
+    refine_points,
+)
+from repro.vary.space import (
+    Axis,
+    AxisValue,
+    BooleanAxis,
+    CategoricalAxis,
+    Constraint,
+    ContinuousAxis,
+    FAMILIES,
+    IntAxis,
+    VARY_FORMAT,
+    VariationSpec,
+    axis_from_dict,
+    canonical_point,
+    point_key,
+    points_digest,
+)
+
+__all__ = [
+    "Axis",
+    "AxisValue",
+    "BooleanAxis",
+    "CategoricalAxis",
+    "Constraint",
+    "ContinuousAxis",
+    "CoverageModel",
+    "FAMILIES",
+    "IntAxis",
+    "LATENCY_BUCKETS_MS",
+    "MaterializedPoint",
+    "NEUTRAL_VERDICTS",
+    "PointResult",
+    "REPORT_SCHEMA",
+    "REPORT_SCHEMA_VERSION",
+    "Refinement",
+    "SAFE_VERDICTS",
+    "SAMPLERS",
+    "VARY_FORMAT",
+    "VERDICT_SEVERITY",
+    "VariationResult",
+    "VariationSpec",
+    "VaryProgress",
+    "axis_from_dict",
+    "blind_corner_demo",
+    "brake_demo",
+    "build_report",
+    "canonical_point",
+    "classify_region",
+    "demo_specs",
+    "grid_points",
+    "is_safe_verdict",
+    "lhs_points",
+    "materialize",
+    "point_key",
+    "points_digest",
+    "refine_points",
+    "region_label",
+    "render_report",
+    "report_digest",
+    "report_json",
+    "run_variation_campaign",
+    "sample_only",
+    "validate_report",
+    "worst_verdict",
+]

@@ -1,0 +1,159 @@
+"""Turn sampled points into concrete, runnable scenario objects.
+
+A point is just ``{axis name: value}``; this module merges it with a
+spec's fixed ``base`` overrides and builds the family's frozen config:
+
+* ``emergency_brake`` -- an
+  :class:`~repro.core.scenario.EmergencyBrakeScenario` (dotted keys
+  reach nested configs: ``"ntp.initial_offset_std"``,
+  ``"rsu_http.service_mean"``, ...) plus an optional
+  :class:`~repro.faults.plan.FaultPlan` selected by the special
+  ``"fault_plan"`` key (a built-in plan name);
+* ``fleet`` -- a :class:`~repro.core.fleet.scenario.FleetScenario`
+  (flat fields only; unknown names fail loudly).
+
+Materialisation is pure: the same (spec, point) always yields the
+same frozen objects, so the campaign cache can key on (spec hash,
+point hash, seed).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, Mapping, Optional, Tuple, Union
+
+from repro.core.fleet.scenario import FleetScenario
+from repro.core.scenario import EmergencyBrakeScenario, scenario_from_dict
+from repro.faults.plan import FaultPlan
+from repro.vary.space import AxisValue, VariationSpec
+
+Scenario = Union[EmergencyBrakeScenario, FleetScenario]
+
+
+@dataclasses.dataclass(frozen=True)
+class MaterializedPoint:
+    """One point's runnable form: scenario + optional fault plan."""
+
+    scenario: Scenario
+    fault_plan: Optional[FaultPlan] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Canonical JSON-serialisable form."""
+        plan = None if self.fault_plan is None \
+            else self.fault_plan.to_dict()
+        family = ("fleet" if isinstance(self.scenario, FleetScenario)
+                  else "emergency_brake")
+        return {"family": family,
+                "scenario": dataclasses.asdict(self.scenario),
+                "fault_plan": plan}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "MaterializedPoint":
+        """Rebuild a materialised point serialised by :meth:`to_dict`."""
+        scenario: Scenario
+        if data["family"] == "fleet":
+            fields = dict(data["scenario"])
+            fields["dcc_thresholds"] = tuple(fields["dcc_thresholds"])
+            scenario = FleetScenario(**fields)
+        else:
+            scenario = scenario_from_dict(data["scenario"])
+        plan = (None if data.get("fault_plan") is None
+                else FaultPlan.from_dict(data["fault_plan"]))
+        return cls(scenario=scenario, fault_plan=plan)
+
+
+def _nest_dotted(flat: Mapping[str, Any]) -> Dict[str, Any]:
+    """Expand ``{"ntp.poll_interval": v}`` into nested dicts."""
+    nested: Dict[str, Any] = {}
+    for key in sorted(flat):
+        value = flat[key]
+        parts = key.split(".")
+        cursor = nested
+        for part in parts[:-1]:
+            existing = cursor.get(part)
+            if existing is None:
+                existing = {}
+                cursor[part] = existing
+            elif not isinstance(existing, dict):
+                raise ValueError(
+                    f"field {key!r} conflicts with scalar override "
+                    f"{part!r}")
+            cursor = existing
+        leaf = parts[-1]
+        if isinstance(cursor.get(leaf), dict) \
+                and not isinstance(value, dict):
+            raise ValueError(
+                f"scalar override {key!r} conflicts with nested "
+                f"overrides below it")
+        cursor[leaf] = value
+    return nested
+
+
+def _merged_fields(spec: VariationSpec,
+                   values: Mapping[str, AxisValue],
+                   ) -> Tuple[Dict[str, Any], Optional[str]]:
+    """(base + point) field overrides, and the fault-plan name."""
+    merged: Dict[str, Any] = {}
+    for key in sorted(spec.base):
+        merged[key] = spec.base[key]
+    for key in sorted(values):
+        merged[key] = values[key]
+    plan_name = merged.pop("fault_plan", None)
+    if plan_name is not None and not isinstance(plan_name, str):
+        raise ValueError(
+            f"fault_plan must name a built-in plan, got {plan_name!r}")
+    return merged, plan_name
+
+
+def _lookup_plan(plan_name: Optional[str]) -> Optional[FaultPlan]:
+    if plan_name is None:
+        return None
+    from repro.faults.catalogue import plans_by_name
+
+    catalogue = plans_by_name()
+    if plan_name not in catalogue:
+        raise ValueError(
+            f"unknown fault plan {plan_name!r}; known plans: "
+            f"{sorted(catalogue)}")
+    return catalogue[plan_name]
+
+
+def materialize(spec: VariationSpec,
+                values: Mapping[str, AxisValue],
+                seed: Optional[int] = None,
+                tie_break: Optional[str] = None,
+                ) -> MaterializedPoint:
+    """Build the frozen scenario (and plan) for one point.
+
+    *seed* overrides the scenario seed (the campaign layer assigns
+    per-run seeds on top); *tie_break* is an execution-level override
+    that is deliberately **not** part of the spec or the point -- runs
+    are bit-identical under all policies, so reports must not depend
+    on it.
+    """
+    spec.validate_point(values)
+    if not spec.feasible(values):
+        raise ValueError(
+            f"point violates the spec's constraints: "
+            f"{dict(sorted(values.items()))}")
+    merged, plan_name = _merged_fields(spec, values)
+    plan = _lookup_plan(plan_name)
+
+    scenario: Scenario
+    if spec.family == "emergency_brake":
+        scenario = scenario_from_dict(_nest_dotted(merged))
+    else:
+        field_names = {field.name for field in
+                       dataclasses.fields(FleetScenario)}
+        unknown = set(merged) - field_names
+        if unknown:
+            raise ValueError(
+                f"unknown fleet scenario field(s) {sorted(unknown)}; "
+                f"known fields: {sorted(field_names)}")
+        scenario = FleetScenario(**merged)
+
+    if seed is not None:
+        scenario = dataclasses.replace(scenario, seed=seed)
+    if tie_break is not None:
+        scenario = dataclasses.replace(scenario, tie_break=tie_break)
+    return MaterializedPoint(scenario=scenario, fault_plan=plan)

@@ -1,0 +1,237 @@
+"""Deterministic samplers over a :class:`~repro.vary.space.VariationSpec`.
+
+Three strategies, all pure functions of ``(spec, seed, size)``:
+
+* **grid** -- the full cartesian product of per-axis level grids
+  (every categorical choice, both booleans, *levels* points per
+  range axis), constraint-filtered, in axis order.  No randomness.
+* **lhs** -- Latin Hypercube: each range axis is stratified into *n*
+  strata; per-axis permutations and in-stratum offsets are drawn
+  from named ``vary.lhs.*`` substreams of
+  :class:`~repro.sim.randomness.RandomStreams`, so the same
+  ``(spec, seed, n)`` always yields the byte-identical point list,
+  independent of workers, chunking or call history.
+* **adaptive refinement** -- given already-evaluated points with
+  safety verdicts, finds the closest SAFE <-> LATE/NO pairs in
+  normalised space and bisects each pair's range axes, producing the
+  midpoints that sharpen the verdict boundary.
+
+Samplers never run anything; they only produce point dicts.  The
+campaign layer (:mod:`repro.vary.campaign`) materialises and runs
+them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Any, Dict, List, Sequence, Set, Tuple
+
+from repro.sim.randomness import RandomStreams
+from repro.vary.space import (
+    AxisValue,
+    VariationSpec,
+    canonical_point,
+    point_key,
+)
+
+#: Verdicts counting as "the safety function succeeded" across both
+#: scenario families (fault envelope and fleet workload vocabulary).
+SAFE_VERDICTS = ("SAFE", "SAFE_STOP")
+
+#: Verdicts that carry no safety information (pure-load workloads).
+NEUTRAL_VERDICTS = ("N_A",)
+
+
+def is_safe_verdict(verdict: str) -> bool:
+    """Whether *verdict* counts as a success for boundary detection."""
+    return verdict in SAFE_VERDICTS
+
+
+# ---------------------------------------------------------------------------
+# Full grid
+# ---------------------------------------------------------------------------
+
+
+def grid_points(spec: VariationSpec, levels: int = 3,
+                ) -> List[Dict[str, AxisValue]]:
+    """The constraint-filtered cartesian product of per-axis grids.
+
+    Range axes contribute *levels* evenly spaced values (endpoints
+    included); categorical axes every choice; boolean axes both
+    values.  Points iterate in axis order (last axis fastest) --
+    fully deterministic with no randomness at all.
+    """
+    per_axis = [axis.grid(levels) for axis in spec.axes]
+    names = [axis.name for axis in spec.axes]
+    points: List[Dict[str, AxisValue]] = []
+    for combo in itertools.product(*per_axis):
+        values = canonical_point(dict(zip(names, combo)))
+        if spec.feasible(values):
+            points.append(values)
+    return points
+
+
+# ---------------------------------------------------------------------------
+# Latin Hypercube
+# ---------------------------------------------------------------------------
+
+
+def lhs_points(spec: VariationSpec, n: int, seed: int,
+               ) -> List[Dict[str, AxisValue]]:
+    """*n* Latin-Hypercube samples of the space, seed-deterministic.
+
+    Every axis draws from its own named substream
+    (``vary.lhs.<spec name>.<axis name>`` / ``....offset``), so adding
+    an axis to a spec never perturbs the draws of the others.
+    Constraint-violating samples are dropped (the campaign layer
+    reports requested vs feasible counts); the returned list keeps
+    stratum order.
+    """
+    if n < 1:
+        raise ValueError(f"lhs needs n >= 1, got {n}")
+    streams = RandomStreams(seed=seed)
+    columns: Dict[str, List[AxisValue]] = {}
+    for axis in spec.axes:
+        scope = f"vary.lhs.{spec.name}.{axis.name}"
+        order = streams.get(scope).permutation(n)
+        offsets = streams.get(f"{scope}.offset").random(n)
+        column: List[AxisValue] = []
+        for index in range(n):
+            unit = (float(order[index]) + float(offsets[index])) / n
+            column.append(axis.from_unit(unit))
+        columns[axis.name] = column
+    points: List[Dict[str, AxisValue]] = []
+    for index in range(n):
+        values = canonical_point(
+            {axis.name: columns[axis.name][index]
+             for axis in spec.axes})
+        if spec.feasible(values):
+            points.append(values)
+    return points
+
+
+# ---------------------------------------------------------------------------
+# Adaptive refinement
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class Refinement:
+    """One boundary bisection: the midpoint and where it came from."""
+
+    #: The new point to evaluate.
+    values: Dict[str, AxisValue]
+    #: Point key of the SAFE-side parent.
+    parent_safe: str
+    #: Point key of the LATE/NO-side parent.
+    parent_unsafe: str
+    #: Verdicts of the two parents (diagnostics for the report).
+    verdict_safe: str
+    verdict_unsafe: str
+    #: Normalised L-inf distance between the parents.
+    distance: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Canonical JSON-serialisable form."""
+        return {
+            "values": canonical_point(self.values),
+            "parent_safe": self.parent_safe,
+            "parent_unsafe": self.parent_unsafe,
+            "verdict_safe": self.verdict_safe,
+            "verdict_unsafe": self.verdict_unsafe,
+            "distance": self.distance,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Refinement":
+        """Rebuild a refinement serialised by :meth:`to_dict`."""
+        return cls(
+            values=dict(data["values"]),
+            parent_safe=str(data["parent_safe"]),
+            parent_unsafe=str(data["parent_unsafe"]),
+            verdict_safe=str(data["verdict_safe"]),
+            verdict_unsafe=str(data["verdict_unsafe"]),
+            distance=float(data["distance"]),
+        )
+
+
+def _normalised_distance(spec: VariationSpec,
+                         a: Dict[str, AxisValue],
+                         b: Dict[str, AxisValue]) -> float:
+    """L-inf distance in normalised axis space (categorical: 0/1)."""
+    worst = 0.0
+    for axis in spec.axes:
+        left, right = a[axis.name], b[axis.name]
+        if axis.KIND in ("categorical", "boolean"):
+            delta = 0.0 if left == right else 1.0
+        else:
+            delta = abs(axis.normalise(left) - axis.normalise(right))
+        worst = max(worst, delta)
+    return worst
+
+
+def refine_points(
+    spec: VariationSpec,
+    evaluated: Sequence[Tuple[Dict[str, AxisValue], str]],
+    budget: int,
+    exclude_keys: Set[str],
+) -> List[Refinement]:
+    """Bisect the sampled space around observed verdict boundaries.
+
+    *evaluated* is the (point, worst-verdict) history so far.  Every
+    SAFE point is paired with every non-SAFE point (neutral ``N_A``
+    verdicts carry no boundary information and are skipped); the
+    closest pairs in normalised space -- ties broken by parent keys,
+    so the order is total and deterministic -- are bisected along
+    their range axes until *budget* new, feasible, never-seen
+    midpoints exist.  The safe/unsafe labelling of each refinement is
+    recorded, which is what lets the report *prove* a SAFE <-> LATE/NO
+    region was re-sampled.
+    """
+    if budget < 0:
+        raise ValueError(f"budget must be >= 0, got {budget}")
+    safe = [(point_key(values), values, verdict)
+            for values, verdict in evaluated
+            if is_safe_verdict(verdict)]
+    unsafe = [(point_key(values), values, verdict)
+              for values, verdict in evaluated
+              if not is_safe_verdict(verdict)
+              and verdict not in NEUTRAL_VERDICTS]
+    pairs: List[Tuple[float, str, str, Dict[str, AxisValue],
+                      Dict[str, AxisValue], str, str]] = []
+    for safe_key, safe_values, safe_verdict in safe:
+        for unsafe_key, unsafe_values, unsafe_verdict in unsafe:
+            distance = _normalised_distance(spec, safe_values,
+                                            unsafe_values)
+            pairs.append((distance, safe_key, unsafe_key, safe_values,
+                          unsafe_values, safe_verdict, unsafe_verdict))
+    pairs.sort(key=lambda item: (item[0], item[1], item[2]))
+
+    seen = set(exclude_keys)
+    refinements: List[Refinement] = []
+    for (distance, safe_key, unsafe_key, safe_values, unsafe_values,
+            safe_verdict, unsafe_verdict) in pairs:
+        if len(refinements) >= budget:
+            break
+        midpoint = canonical_point({
+            axis.name: axis.midpoint(safe_values[axis.name],
+                                     unsafe_values[axis.name])
+            for axis in spec.axes})
+        key = point_key(midpoint)
+        if key in seen or not spec.feasible(midpoint):
+            continue
+        seen.add(key)
+        refinements.append(Refinement(
+            values=midpoint,
+            parent_safe=safe_key,
+            parent_unsafe=unsafe_key,
+            verdict_safe=safe_verdict,
+            verdict_unsafe=unsafe_verdict,
+            distance=distance,
+        ))
+    return refinements
+
+
+#: Sampler strategy names the campaign layer accepts.
+SAMPLERS = ("grid", "lhs", "adaptive")

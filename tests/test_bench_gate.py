@@ -1,0 +1,157 @@
+"""Bench regression gate: tolerance bands, statuses, CLI exit codes."""
+
+import copy
+import json
+
+import pytest
+
+from repro.obs.bench import run_bench
+from repro.obs.benchgate import (
+    BenchGateResult,
+    MetricComparison,
+    compare_bench,
+    regression_ratio,
+    render_gate,
+)
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    """A real (tiny) bench payload, shared across the module."""
+    return run_bench(runs=1, base_seed=1)
+
+
+class TestRegressionRatio:
+    def test_throughput_drop_is_positive(self):
+        assert regression_ratio(10.0, 5.0, True) == \
+            pytest.approx(1.0)
+
+    def test_throughput_gain_is_negative(self):
+        assert regression_ratio(10.0, 20.0, True) == \
+            pytest.approx(-0.5)
+
+    def test_latency_rise_is_positive(self):
+        assert regression_ratio(0.1, 0.15, False) == \
+            pytest.approx(0.5)
+
+    def test_degenerate_baseline_is_unchanged(self):
+        assert regression_ratio(0.0, 5.0, True) == 0.0
+        assert regression_ratio(0.0, 5.0, False) == 0.0
+
+
+class TestCompare:
+    def test_identical_payload_passes(self, baseline):
+        result = compare_bench(baseline, baseline)
+        assert not result.failed
+        assert not result.warned
+        assert result.counts()["ok"] == len(result.comparisons)
+
+    def test_small_drift_stays_ok(self, baseline):
+        fresh = copy.deepcopy(baseline)
+        fresh["wall"]["runs_per_sec"] *= 0.9  # ~11% slower
+        result = compare_bench(fresh, baseline,
+                               warn_ratio=0.25, fail_ratio=3.0)
+        assert not result.failed
+        assert not result.warned
+
+    def test_warn_band(self, baseline):
+        fresh = copy.deepcopy(baseline)
+        fresh["wall"]["runs_per_sec"] = \
+            baseline["wall"]["runs_per_sec"] / 1.5  # 50% slower
+        result = compare_bench(baseline, fresh,
+                               warn_ratio=0.25, fail_ratio=3.0)
+        assert result.warned and not result.failed
+        row = next(entry for entry in result.comparisons
+                   if entry.name == "wall.runs_per_sec")
+        assert row.status == "warn"
+        assert row.ratio == pytest.approx(0.5)
+
+    def test_fail_band_on_latency(self, baseline):
+        fresh = copy.deepcopy(baseline)
+        name = sorted(fresh["spans"])[0]
+        fresh["spans"][name]["mean_s"] *= 10.0
+        result = compare_bench(baseline, fresh,
+                               warn_ratio=0.25, fail_ratio=3.0)
+        assert result.failed
+        row = next(entry for entry in result.comparisons
+                   if entry.name == f"spans.{name}.mean_s")
+        assert row.status == "fail"
+
+    def test_new_and_gone_metrics_never_fail(self, baseline):
+        fresh = copy.deepcopy(baseline)
+        gone = sorted(fresh["spans"])[0]
+        del fresh["spans"][gone]
+        fresh["spans"]["spans.shiny_new"] = {"count": 1,
+                                             "mean_s": 1.0}
+        result = compare_bench(baseline, fresh)
+        statuses = {entry.name: entry.status
+                    for entry in result.comparisons}
+        assert statuses[f"spans.{gone}.mean_s"] == "gone"
+        assert statuses["spans.spans.shiny_new.mean_s"] == "new"
+        assert not result.failed
+
+    def test_rejects_inverted_bands(self, baseline):
+        with pytest.raises(ValueError):
+            compare_bench(baseline, baseline, warn_ratio=2.0,
+                          fail_ratio=1.0)
+
+    def test_roundtrip(self, baseline):
+        result = compare_bench(baseline, baseline)
+        rebuilt = BenchGateResult.from_dict(result.to_dict())
+        assert rebuilt == result
+        for entry in result.comparisons:
+            assert MetricComparison.from_dict(entry.to_dict()) == \
+                entry
+
+    def test_render_is_deterministic(self, baseline):
+        result = compare_bench(baseline, baseline)
+        assert render_gate(result) == render_gate(result)
+        assert "verdict: PASS" in render_gate(result)
+
+
+class TestCli:
+    def write(self, tmp_path, name, payload):
+        path = tmp_path / name
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_pass_exit_zero(self, tmp_path, baseline, capsys):
+        from repro.cli import main
+
+        base = self.write(tmp_path, "base.json", baseline)
+        fresh = self.write(tmp_path, "fresh.json", baseline)
+        assert main(["bench-gate", "--fresh", fresh,
+                     "--baseline", base]) == 0
+        assert "verdict: PASS" in capsys.readouterr().out
+
+    def test_fail_exit_one(self, tmp_path, baseline, capsys):
+        from repro.cli import main
+
+        slow = copy.deepcopy(baseline)
+        slow["kernel"]["events_per_sec"] /= 10.0
+        base = self.write(tmp_path, "base.json", baseline)
+        fresh = self.write(tmp_path, "fresh.json", slow)
+        assert main(["bench-gate", "--fresh", fresh,
+                     "--baseline", base,
+                     "--warn", "0.25", "--fail", "3.0"]) == 1
+        assert "verdict: FAIL" in capsys.readouterr().out
+
+    def test_json_output(self, tmp_path, baseline):
+        from repro.cli import main
+
+        base = self.write(tmp_path, "base.json", baseline)
+        out = str(tmp_path / "gate.json")
+        assert main(["bench-gate", "--fresh", base,
+                     "--baseline", base, "--json", out]) == 0
+        with open(out, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        assert BenchGateResult.from_dict(payload).failed is False
+
+    def test_invalid_artefact_is_clean_error(self, tmp_path,
+                                             baseline):
+        from repro.cli import main
+
+        base = self.write(tmp_path, "base.json", baseline)
+        bad = self.write(tmp_path, "bad.json", {"nope": 1})
+        with pytest.raises(SystemExit):
+            main(["bench-gate", "--fresh", bad, "--baseline", base])

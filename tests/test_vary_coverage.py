@@ -1,0 +1,252 @@
+"""Coverage model: exact merge properties, report schema, digests.
+
+The merge property pinned with hypothesis is the one the campaign
+engine relies on: folding per-shard coverage models in ANY order and
+grouping yields bit-for-bit the same serialised state, because all
+counts live in the obs layer's exactly-mergeable metric types.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.vary import (
+    ContinuousAxis,
+    CoverageModel,
+    IntAxis,
+    VariationSpec,
+    build_report,
+    classify_region,
+    point_key,
+    region_label,
+    render_report,
+    report_digest,
+    report_json,
+    validate_report,
+)
+
+
+def make_spec():
+    return VariationSpec(
+        name="cov-space",
+        family="fleet",
+        axes=(
+            ContinuousAxis("protagonist_start", 0.0, 8.0),
+            IntAxis("n_obus", 1, 8),
+        ),
+        base={"workload": "blind_corner"},
+        coverage_bins=4,
+    )
+
+
+#: One observation: (point values, verdicts, latencies).
+observations = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=8.0,
+                  allow_nan=False, allow_infinity=False),
+        st.integers(min_value=1, max_value=8),
+        st.lists(st.sampled_from(
+            ["SAFE", "LATE", "NO_STOP", "N_A"]),
+            min_size=1, max_size=3),
+        st.lists(st.floats(min_value=0.0, max_value=900.0,
+                           allow_nan=False, allow_infinity=False),
+                 max_size=3),
+    ),
+    max_size=12)
+
+
+def fill(spec, entries):
+    model = CoverageModel(spec)
+    for start, n_obus, verdicts, latencies in entries:
+        values = {"protagonist_start": start, "n_obus": n_obus}
+        model.observe_point(point_key(values), values, verdicts,
+                            latencies)
+    return model
+
+
+def state(model):
+    """The complete serialised state, bit for bit."""
+    return json.dumps(model.to_dict(), sort_keys=True)
+
+
+class TestMergeProperties:
+    @settings(deadline=None, max_examples=40)
+    @given(observations, observations)
+    def test_commutative(self, entries_a, entries_b):
+        spec = make_spec()
+        ab = fill(spec, entries_a)
+        ab.merge(fill(spec, entries_b))
+        ba = fill(spec, entries_b)
+        ba.merge(fill(spec, entries_a))
+        assert state(ab) == state(ba)
+
+    @settings(deadline=None, max_examples=40)
+    @given(observations, observations, observations)
+    def test_associative(self, entries_a, entries_b, entries_c):
+        spec = make_spec()
+        left = fill(spec, entries_a)
+        left.merge(fill(spec, entries_b))
+        left.merge(fill(spec, entries_c))
+        bc = fill(spec, entries_b)
+        bc.merge(fill(spec, entries_c))
+        right = fill(spec, entries_a)
+        right.merge(bc)
+        assert state(left) == state(right)
+
+    @settings(deadline=None, max_examples=30)
+    @given(observations)
+    def test_merge_equals_single_pass(self, entries):
+        """Sharding the stream and merging == observing serially."""
+        spec = make_spec()
+        serial = fill(spec, entries)
+        half = len(entries) // 2
+        sharded = fill(spec, entries[:half])
+        sharded.merge(fill(spec, entries[half:]))
+        assert state(sharded) == state(serial)
+
+    def test_rejects_different_specs(self):
+        other = VariationSpec(
+            name="other", family="fleet",
+            axes=(ContinuousAxis("protagonist_start", 0.0, 9.0),
+                  IntAxis("n_obus", 1, 8)),
+            base={"workload": "blind_corner"})
+        model = CoverageModel(make_spec())
+        with pytest.raises(ValueError):
+            model.merge(CoverageModel(other))
+
+
+class TestModel:
+    def test_axis_occupancy_counts_bins(self):
+        spec = make_spec()
+        model = fill(spec, [
+            (0.5, 1, ["SAFE"], []),    # bin 0 / bin 0
+            (7.5, 8, ["LATE"], []),    # bin 3 / bin 3
+            (7.9, 8, ["LATE"], []),    # bin 3 / bin 3
+        ])
+        occupancy = model.axis_occupancy()
+        assert occupancy["protagonist_start"] == [1, 0, 0, 2]
+        assert occupancy["n_obus"] == [1, 0, 0, 2]
+
+    def test_queries_do_not_mutate_state(self):
+        spec = make_spec()
+        model = fill(spec, [(0.5, 1, ["SAFE"], [10.0])])
+        before = state(model)
+        model.axis_occupancy()
+        model.region_verdicts()
+        model.verdict_totals()
+        model.latency_buckets()
+        model.fault_kind_totals()
+        assert state(model) == before
+
+    def test_distinct_points_deduplicates(self):
+        spec = make_spec()
+        values = {"protagonist_start": 1.0, "n_obus": 2}
+        model = CoverageModel(spec)
+        for _ in range(3):
+            model.observe_point(point_key(values), values, ["SAFE"],
+                                [])
+        assert model.distinct_points == 1
+
+    def test_fault_kinds_counted(self):
+        spec = make_spec()
+        model = CoverageModel(spec)
+        values = {"protagonist_start": 1.0, "n_obus": 2}
+        model.observe_point(point_key(values), values, ["SAFE"], [],
+                            fault_kinds=["jamming", "packet_loss"])
+        assert model.fault_kind_totals() == {"jamming": 1,
+                                             "packet_loss": 1}
+
+    def test_roundtrip(self):
+        spec = make_spec()
+        model = fill(spec, [(0.5, 1, ["SAFE"], [12.5]),
+                            (7.5, 8, ["LATE", "NO_STOP"], [80.0])])
+        rebuilt = CoverageModel.from_dict(model.to_dict())
+        assert state(rebuilt) == state(model)
+
+
+class TestRegions:
+    def test_region_label_sorted_axis_order(self):
+        spec = make_spec()
+        label = region_label(spec, {"protagonist_start": 7.9,
+                                    "n_obus": 1})
+        assert label == "n_obus:0|protagonist_start:3"
+
+    def test_classify(self):
+        assert classify_region({"SAFE": 3}) == "safe"
+        assert classify_region({"LATE": 1, "NO_STOP": 2}) == "failing"
+        assert classify_region({"SAFE": 1, "LATE": 1}) == "boundary"
+        assert classify_region({"N_A": 5}) == "neutral"
+        assert classify_region({}) == "neutral"
+
+
+def make_report():
+    spec = make_spec()
+    model = fill(spec, [
+        (0.5, 1, ["LATE"], [90.0]),
+        (7.5, 8, ["SAFE"], [15.0]),
+    ])
+    points = []
+    for index, (start, n_obus, worst) in enumerate(
+            [(0.5, 1, "LATE"), (7.5, 8, "SAFE")]):
+        values = {"protagonist_start": start, "n_obus": n_obus}
+        points.append({
+            "index": index, "values": values,
+            "key": point_key(values), "origin": "grid",
+            "parents": [], "verdicts": [worst],
+            "latencies_ms": [], "worst": worst,
+        })
+    sampler = {"strategy": "grid", "base_seed": 1,
+               "runs_per_point": 1}
+    return build_report(model, sampler, points)
+
+
+class TestReport:
+    def test_validates_and_has_regions(self):
+        report = make_report()
+        validate_report(report)
+        classifications = {entry["region"]: entry["classification"]
+                           for entry in report["regions"]}
+        assert classifications[
+            "n_obus:0|protagonist_start:0"] == "failing"
+        assert classifications[
+            "n_obus:3|protagonist_start:3"] == "safe"
+
+    def test_names_unexplored_bins(self):
+        report = make_report()
+        unexplored = {(entry["axis"], entry["bin"])
+                      for entry in report["unexplored"]}
+        assert ("protagonist_start", 1) in unexplored
+        assert ("protagonist_start", 0) not in unexplored
+
+    def test_digest_is_canonical_json_sha(self):
+        report = make_report()
+        import hashlib
+
+        expected = hashlib.sha256(
+            report_json(report).encode()).hexdigest()
+        assert report_digest(report) == expected
+
+    def test_json_roundtrip_preserves_digest(self):
+        report = make_report()
+        rebuilt = json.loads(report_json(report))
+        assert report_digest(rebuilt) == report_digest(report)
+
+    def test_validate_rejects_missing_key(self):
+        report = make_report()
+        del report["regions"]
+        with pytest.raises(ValueError):
+            validate_report(report)
+
+    def test_validate_rejects_bad_classification(self):
+        report = make_report()
+        report["regions"][0]["classification"] = "mystery"
+        with pytest.raises(ValueError):
+            validate_report(report)
+
+    def test_render_names_failing_regions(self):
+        text = render_report(make_report())
+        assert "failing" in text
+        assert "n_obus:0|protagonist_start:0" in text
+        assert "UNEXPLORED" in text

@@ -1,0 +1,193 @@
+"""Sampler determinism: grid, Latin Hypercube, adaptive refinement.
+
+The load-bearing property (pinned with hypothesis): the point set of
+``(spec, seed, n)`` is *byte-identical* however many times, in
+whatever interleaving, and on whatever worker the sampler runs --
+samplers are pure functions of their arguments drawing only from
+named ``vary.*`` substreams.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.vary import (
+    BooleanAxis,
+    CategoricalAxis,
+    Constraint,
+    ContinuousAxis,
+    IntAxis,
+    Refinement,
+    VariationSpec,
+    grid_points,
+    is_safe_verdict,
+    lhs_points,
+    point_key,
+    points_digest,
+    refine_points,
+)
+
+
+def mixed_spec(constraints=()):
+    return VariationSpec(
+        name="mixed",
+        family="emergency_brake",
+        axes=(
+            ContinuousAxis("start_distance", 3.0, 9.0),
+            IntAxis("runs_knob", 1, 6),
+            CategoricalAxis("radio", ("its_g5", "5g")),
+            BooleanAxis("secured"),
+        ),
+        constraints=tuple(constraints),
+    )
+
+
+class TestGrid:
+    def test_full_product_in_axis_order(self):
+        spec = mixed_spec()
+        points = grid_points(spec, levels=2)
+        # 2 range levels x 2 int levels x 2 choices x 2 booleans.
+        assert len(points) == 16
+        # Last axis varies fastest.
+        assert points[0]["secured"] is False
+        assert points[1]["secured"] is True
+
+    def test_no_randomness(self):
+        spec = mixed_spec()
+        assert points_digest(grid_points(spec, levels=3)) == \
+            points_digest(grid_points(spec, levels=3))
+
+    def test_constraints_filter(self):
+        spec = mixed_spec(constraints=(
+            Constraint(lhs="runs_knob", op="<=", rhs_value=3),))
+        points = grid_points(spec, levels=2)
+        assert points
+        assert all(values["runs_knob"] <= 3 for values in points)
+
+
+class TestLhs:
+    def test_each_axis_stratified(self):
+        spec = mixed_spec()
+        points = lhs_points(spec, 6, seed=5)
+        axis = spec.axis("start_distance")
+        strata = sorted(int(axis.normalise(values["start_distance"])
+                            * 6) for values in points)
+        # One sample per stratum: a Latin Hypercube's signature.
+        assert strata == [0, 1, 2, 3, 4, 5]
+
+    def test_values_stay_on_axes(self):
+        spec = mixed_spec()
+        for values in lhs_points(spec, 10, seed=2):
+            spec.validate_point(values)
+
+    @settings(deadline=None, max_examples=25)
+    @given(seed=st.integers(min_value=0, max_value=2**31),
+           n=st.integers(min_value=1, max_value=12))
+    def test_same_seed_byte_identical(self, seed, n):
+        spec = mixed_spec()
+        first = points_digest(lhs_points(spec, n, seed=seed))
+        second = points_digest(lhs_points(spec, n, seed=seed))
+        assert first == second
+
+    @settings(deadline=None, max_examples=25)
+    @given(seed=st.integers(min_value=0, max_value=2**31))
+    def test_interleaved_calls_do_not_perturb(self, seed):
+        """Sampling other specs/sizes between calls changes nothing --
+        each call builds its own substreams from scratch, exactly like
+        a fresh worker process would."""
+        spec = mixed_spec()
+        reference = points_digest(lhs_points(spec, 5, seed=seed))
+        lhs_points(spec, 9, seed=seed + 1)
+        lhs_points(mixed_spec(), 3, seed=seed)
+        assert points_digest(lhs_points(spec, 5, seed=seed)) == \
+            reference
+
+    def test_different_seeds_differ(self):
+        spec = mixed_spec()
+        assert points_digest(lhs_points(spec, 8, seed=1)) != \
+            points_digest(lhs_points(spec, 8, seed=2))
+
+    def test_constraint_violations_dropped(self):
+        spec = mixed_spec(constraints=(
+            Constraint(lhs="start_distance", op=">",
+                       rhs_value=6.0),))
+        points = lhs_points(spec, 12, seed=3)
+        assert 0 < len(points) < 12
+        assert all(values["start_distance"] > 6.0
+                   for values in points)
+
+
+def boundary_spec():
+    return VariationSpec(
+        name="boundary",
+        family="fleet",
+        axes=(ContinuousAxis("protagonist_start", 0.0, 8.0),),
+        base={"workload": "blind_corner"},
+    )
+
+
+class TestRefinement:
+    def test_bisects_closest_safe_unsafe_pair(self):
+        spec = boundary_spec()
+        evaluated = [
+            ({"protagonist_start": 8.0}, "SAFE"),
+            ({"protagonist_start": 6.0}, "SAFE"),
+            ({"protagonist_start": 2.0}, "LATE"),
+        ]
+        batch = refine_points(spec, evaluated, budget=1,
+                              exclude_keys=set())
+        assert len(batch) == 1
+        refinement = batch[0]
+        # Closest pair is 6.0 (SAFE) vs 2.0 (LATE) -> midpoint 4.0.
+        assert refinement.values == {"protagonist_start": 4.0}
+        assert refinement.verdict_safe == "SAFE"
+        assert refinement.verdict_unsafe == "LATE"
+        assert refinement.parent_safe == \
+            point_key({"protagonist_start": 6.0})
+
+    def test_neutral_verdicts_carry_no_boundary(self):
+        spec = boundary_spec()
+        evaluated = [
+            ({"protagonist_start": 8.0}, "SAFE"),
+            ({"protagonist_start": 2.0}, "N_A"),
+        ]
+        assert refine_points(spec, evaluated, budget=4,
+                             exclude_keys=set()) == []
+
+    def test_seen_points_never_reappear(self):
+        spec = boundary_spec()
+        evaluated = [
+            ({"protagonist_start": 6.0}, "SAFE"),
+            ({"protagonist_start": 2.0}, "LATE"),
+        ]
+        midpoint_key = point_key({"protagonist_start": 4.0})
+        batch = refine_points(spec, evaluated, budget=4,
+                              exclude_keys={midpoint_key})
+        assert midpoint_key not in {point_key(r.values)
+                                    for r in batch}
+
+    def test_budget_zero_is_empty(self):
+        spec = boundary_spec()
+        evaluated = [
+            ({"protagonist_start": 6.0}, "SAFE"),
+            ({"protagonist_start": 2.0}, "LATE"),
+        ]
+        assert refine_points(spec, evaluated, budget=0,
+                             exclude_keys=set()) == []
+
+    def test_refinement_roundtrip(self):
+        spec = boundary_spec()
+        evaluated = [
+            ({"protagonist_start": 6.0}, "SAFE"),
+            ({"protagonist_start": 2.0}, "NO_STOP"),
+        ]
+        refinement = refine_points(spec, evaluated, budget=1,
+                                   exclude_keys=set())[0]
+        assert Refinement.from_dict(refinement.to_dict()) == refinement
+
+
+def test_safe_verdict_vocabulary():
+    assert is_safe_verdict("SAFE")
+    assert is_safe_verdict("SAFE_STOP")
+    for verdict in ("LATE", "LATE_STOP", "NO_STOP", "PILE_UP",
+                    "SPURIOUS_STOP", "N_A"):
+        assert not is_safe_verdict(verdict)

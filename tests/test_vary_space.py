@@ -1,0 +1,179 @@
+"""Scenario-space spec: axes, constraints, fingerprints, round-trips."""
+
+import pytest
+
+from repro.vary import (
+    BooleanAxis,
+    CategoricalAxis,
+    Constraint,
+    ContinuousAxis,
+    IntAxis,
+    VariationSpec,
+    axis_from_dict,
+    canonical_point,
+    point_key,
+    points_digest,
+)
+
+
+def two_axis_spec(**overrides):
+    fields = dict(
+        name="test-space",
+        family="fleet",
+        axes=(
+            ContinuousAxis("protagonist_start", 2.0, 10.0),
+            IntAxis("n_obus", 1, 8),
+        ),
+        base={"workload": "blind_corner", "duration": 6.0},
+    )
+    fields.update(overrides)
+    return VariationSpec(**fields)
+
+
+class TestAxes:
+    def test_continuous_grid_includes_endpoints(self):
+        axis = ContinuousAxis("x", 1.0, 3.0)
+        assert axis.grid(3) == [1.0, 2.0, 3.0]
+        assert axis.grid(1) == [2.0]
+
+    def test_continuous_unit_mapping_roundtrip(self):
+        axis = ContinuousAxis("x", 2.0, 10.0)
+        for unit in (0.0, 0.25, 0.5, 1.0):
+            value = axis.from_unit(unit)
+            assert axis.normalise(value) == pytest.approx(unit)
+
+    def test_continuous_validate_rejects_outside(self):
+        axis = ContinuousAxis("x", 0.0, 1.0)
+        with pytest.raises(ValueError):
+            axis.validate(1.5)
+
+    def test_int_axis_grid_small_span_is_exhaustive(self):
+        axis = IntAxis("n", 1, 4)
+        assert axis.grid(10) == [1, 2, 3, 4]
+
+    def test_int_axis_bins_never_exceed_span(self):
+        axis = IntAxis("n", 1, 3)
+        assert axis.bins(8) == 3
+        assert sorted({axis.bin_of(v, 8) for v in (1, 2, 3)}) == \
+            [0, 1, 2]
+
+    def test_categorical_axis_needs_two_choices(self):
+        with pytest.raises(ValueError):
+            CategoricalAxis("radio", ("its_g5",))
+
+    def test_boolean_axis_grid(self):
+        axis = BooleanAxis("secured")
+        assert axis.grid(5) == [False, True]
+
+    def test_midpoint_bisects_ranges(self):
+        assert ContinuousAxis("x", 0.0, 8.0).midpoint(2.0, 6.0) == 4.0
+        assert IntAxis("n", 0, 10).midpoint(2, 7) == 4
+
+    def test_midpoint_categorical_takes_failing_side(self):
+        axis = CategoricalAxis("radio", ("its_g5", "5g"))
+        assert axis.midpoint("its_g5", "5g") == "5g"
+
+    def test_axis_roundtrip_all_kinds(self):
+        for axis in (ContinuousAxis("a", 0.0, 1.0),
+                     IntAxis("b", 1, 9),
+                     CategoricalAxis("c", ("x", "y", "z")),
+                     BooleanAxis("d")):
+            assert axis_from_dict(axis.to_dict()) == axis
+
+
+class TestConstraints:
+    def test_axis_vs_axis(self):
+        constraint = Constraint(lhs="a", op="<", rhs_axis="b")
+        assert constraint.satisfied({"a": 1.0, "b": 2.0})
+        assert not constraint.satisfied({"a": 2.0, "b": 1.0})
+
+    def test_axis_vs_value(self):
+        constraint = Constraint(lhs="a", op=">=", rhs_value=3)
+        assert constraint.satisfied({"a": 3})
+        assert not constraint.satisfied({"a": 2})
+
+    def test_needs_exactly_one_rhs(self):
+        with pytest.raises(ValueError):
+            Constraint(lhs="a", op="<")
+        with pytest.raises(ValueError):
+            Constraint(lhs="a", op="<", rhs_axis="b", rhs_value=1)
+
+    def test_roundtrip(self):
+        constraint = Constraint(lhs="a", op="!=", rhs_value="5g")
+        assert Constraint.from_dict(constraint.to_dict()) == constraint
+
+
+class TestSpec:
+    def test_rejects_unknown_family(self):
+        with pytest.raises(ValueError):
+            two_axis_spec(family="platoon")
+
+    def test_rejects_duplicate_axis_names(self):
+        with pytest.raises(ValueError):
+            two_axis_spec(axes=(ContinuousAxis("x", 0.0, 1.0),
+                                IntAxis("x", 1, 2)))
+
+    def test_rejects_base_overlapping_axes(self):
+        with pytest.raises(ValueError):
+            two_axis_spec(base={"n_obus": 4})
+
+    def test_rejects_constraint_on_unknown_axis(self):
+        with pytest.raises(ValueError):
+            two_axis_spec(constraints=(
+                Constraint(lhs="nope", op="<", rhs_value=1),))
+
+    def test_fault_plan_only_for_brake_family(self):
+        with pytest.raises(ValueError):
+            two_axis_spec(base={"workload": "beacon",
+                                "fault_plan": "jamming"})
+
+    def test_validate_point_rejects_missing_and_extra(self):
+        spec = two_axis_spec()
+        with pytest.raises(ValueError):
+            spec.validate_point({"protagonist_start": 5.0})
+        with pytest.raises(ValueError):
+            spec.validate_point({"protagonist_start": 5.0,
+                                 "n_obus": 2, "extra": 1})
+
+    def test_feasible_applies_constraints(self):
+        spec = two_axis_spec(constraints=(
+            Constraint(lhs="n_obus", op="<=", rhs_value=4),))
+        assert spec.feasible({"protagonist_start": 5.0, "n_obus": 4})
+        assert not spec.feasible({"protagonist_start": 5.0,
+                                  "n_obus": 5})
+
+    def test_roundtrip_preserves_fingerprint(self):
+        spec = two_axis_spec(constraints=(
+            Constraint(lhs="protagonist_start", op=">",
+                       rhs_value=2.5),))
+        rebuilt = VariationSpec.from_dict(spec.to_dict())
+        assert rebuilt == spec
+        assert rebuilt.fingerprint() == spec.fingerprint()
+
+    def test_from_dict_rejects_unknown_fields(self):
+        data = two_axis_spec().to_dict()
+        data["surprise"] = 1
+        with pytest.raises(ValueError):
+            VariationSpec.from_dict(data)
+
+    def test_fingerprint_sensitive_to_axes(self):
+        a = two_axis_spec()
+        b = two_axis_spec(axes=(
+            ContinuousAxis("protagonist_start", 2.0, 11.0),
+            IntAxis("n_obus", 1, 8),
+        ))
+        assert a.fingerprint() != b.fingerprint()
+
+
+class TestPointKeys:
+    def test_canonical_point_sorts_keys(self):
+        assert list(canonical_point({"b": 1, "a": 2})) == ["a", "b"]
+
+    def test_point_key_is_order_independent(self):
+        assert point_key({"a": 1, "b": 2.5}) == \
+            point_key({"b": 2.5, "a": 1})
+
+    def test_points_digest_depends_on_order(self):
+        one = [{"a": 1}, {"a": 2}]
+        two = [{"a": 2}, {"a": 1}]
+        assert points_digest(one) != points_digest(two)
