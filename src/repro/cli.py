@@ -18,6 +18,10 @@ Subcommands:
 * ``vary`` -- the scenario-space variation engine: sample a declared
   spec (grid / LHS / adaptive boundary refinement), run every point,
   and emit a canonical coverage report;
+* ``queue`` -- the durable work-queue campaign backend: ``enqueue``
+  items, run ``work``ers (crash-safe: lost leases requeue, exhausted
+  items dead-letter), ``drain`` to completion, inspect ``status``,
+  ``fold`` the bit-identical result;
 * ``trace`` -- one traced run as canonical JSONL + step timeline
   (``--update-golden`` refreshes the golden-trace fixtures);
 * ``lint`` -- the detlint determinism linter (rules DET001..DET008
@@ -36,6 +40,9 @@ Examples::
         --sampler adaptive --points 8 --report coverage.json
     repro-testbed vary sample --spec brake-demo --sampler lhs \
         --points 12
+    repro-testbed queue enqueue --dir /tmp/q --runs 50
+    repro-testbed queue drain --dir /tmp/q --workers 4
+    repro-testbed queue fold --dir /tmp/q
     repro-testbed trace --update-golden
 
 ``campaign``, ``cdf``, ``faults`` and ``report`` accept
@@ -134,6 +141,14 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--cache-dir", default=None, metavar="DIR",
                         help="cache completed runs on disk so "
                              "repeated campaigns skip them")
+    parser.add_argument("--backend", choices=("pool", "queue"),
+                        default="pool",
+                        help="execution backend: in-process pool or "
+                             "the durable work queue (bit-identical "
+                             "results either way)")
+    parser.add_argument("--queue-dir", default=None, metavar="DIR",
+                        help="queue state directory for "
+                             "--backend queue (default: temporary)")
 
 
 def _print_progress(outcome, done: int, total: int) -> None:
@@ -148,7 +163,9 @@ def _run_engine(args: argparse.Namespace, scenario=None):
         scenario if scenario is not None else _scenario_from(args),
         runs=args.runs, base_seed=args.seed,
         workers=args.workers, cache_dir=args.cache_dir,
-        progress=_print_progress)
+        progress=_print_progress,
+        backend=getattr(args, "backend", "pool"),
+        queue_dir=getattr(args, "queue_dir", None))
 
 
 def _scenario_from(args: argparse.Namespace) -> EmergencyBrakeScenario:
@@ -364,30 +381,61 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_bench_gate(args: argparse.Namespace) -> int:
+def _load_bench_artefact(label: str, path: str):
     import json
 
     from repro.obs.bench import validate_bench
+
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError) as error:
+        raise SystemExit(
+            f"repro-testbed: error: cannot read --{label} "
+            f"{path!r} ({error})") from error
+    try:
+        validate_bench(payload)
+    except ValueError as error:
+        raise SystemExit(
+            f"repro-testbed: error: --{label} {path!r} is not a "
+            f"valid bench artefact ({error})") from error
+    return payload
+
+
+def cmd_bench_gate(args: argparse.Namespace) -> int:
+    import glob
+    import json
+
     from repro.obs.benchgate import compare_bench, render_gate
 
-    payloads = {}
-    for label, path in (("baseline", args.baseline),
-                        ("fresh", args.fresh)):
-        try:
-            with open(path, "r", encoding="utf-8") as handle:
-                payload = json.load(handle)
-        except (OSError, ValueError) as error:
-            raise SystemExit(
-                f"repro-testbed: error: cannot read --{label} "
-                f"{path!r} ({error})") from error
-        try:
-            validate_bench(payload)
-        except ValueError as error:
-            raise SystemExit(
-                f"repro-testbed: error: --{label} {path!r} is not a "
-                f"valid bench artefact ({error})") from error
-        payloads[label] = payload
-    result = compare_bench(payloads["baseline"], payloads["fresh"],
+    fresh = _load_bench_artefact("fresh", args.fresh)
+    matches = sorted(glob.glob(args.baseline))
+    if not matches:
+        # A repository that has never committed a BENCH_*.json has
+        # nothing to gate against; that is a clean pass, not an
+        # error, so fresh clones stay green until a baseline lands.
+        revision = str(fresh.get("revision", "unknown"))
+        print(f"bench gate: no committed baseline matches "
+              f"{args.baseline!r}")
+        print(f"verdict: NO-BASELINE  (fresh {revision} accepted "
+              f"ungated)")
+        if args.json:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                json.dump({"status": "no-baseline",
+                           "baseline_pattern": args.baseline,
+                           "fresh_revision": revision},
+                          handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print(f"wrote {args.json}")
+        return 0
+    if len(matches) > 1:
+        listing = ", ".join(matches)
+        raise SystemExit(
+            f"repro-testbed: error: --baseline {args.baseline!r} "
+            f"matches {len(matches)} artefacts ({listing}); pass "
+            f"one explicitly")
+    baseline = _load_bench_artefact("baseline", matches[0])
+    result = compare_bench(baseline, fresh,
                            warn_ratio=args.warn,
                            fail_ratio=args.fail)
     print(render_gate(result), end="")
@@ -654,10 +702,12 @@ def build_parser() -> argparse.ArgumentParser:
                            "committed baseline (warn/fail bands)")
     gate_parser.add_argument("--fresh", required=True, metavar="FILE",
                              help="the just-measured BENCH_*.json")
-    gate_parser.add_argument("--baseline", required=True,
+    gate_parser.add_argument("--baseline", default="BENCH_*.json",
                              metavar="FILE",
                              help="the committed reference "
-                                  "BENCH_*.json")
+                                  "BENCH_*.json -- a path or glob; "
+                                  "no match is a clean no-baseline "
+                                  "pass (default: BENCH_*.json)")
     gate_parser.add_argument("--warn", type=float, default=0.25,
                              metavar="RATIO",
                              help="warn when a metric is this "
@@ -747,6 +797,13 @@ def build_parser() -> argparse.ArgumentParser:
     tie_parser.add_argument("--output", default=None, metavar="FILE",
                             help="write the full report as JSON")
     tie_parser.set_defaults(func=cmd_tie_audit)
+
+    queue_parser = sub.add_parser(
+        "queue", help="durable work-queue campaigns: enqueue / work "
+                      "/ drain / status / fold")
+    from repro.core.queue.cli import add_arguments as add_queue_arguments
+
+    add_queue_arguments(queue_parser)
 
     return parser
 

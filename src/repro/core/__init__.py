@@ -20,13 +20,22 @@ network-aided safety function, not just the communication hop.
 * :mod:`repro.core.platoon` -- the platooning / multi-technology
   future-work extension;
 * :mod:`repro.core.fleet` -- fleet-scale scenarios: N OBUs and M RSUs
-  congesting one channel, with CBR-driven DCC and campaign sharding.
+  congesting one channel, with CBR-driven DCC and campaign sharding;
+* :mod:`repro.core.artifacts` -- the content-addressed artifact
+  store behind the run cache (CACHE_FORMAT v5: sharded layout,
+  atomic writes, integrity-verified reads);
+* :mod:`repro.core.queue` -- the durable work-queue campaign backend
+  (``backend="queue"``): SQLite leases with heartbeat expiry,
+  retry/requeue on worker loss, dead-letter state, bit-identical
+  streamed fold.
 """
 
 from repro.core.measurement import RunMeasurement, StepTimeline, Steps
 from repro.core.scenario import EmergencyBrakeScenario
 from repro.core.testbed import CampaignResult, ScaleTestbed, run_campaign
+from repro.core.artifacts import ArtifactStore, CACHE_FORMAT
 from repro.core.campaign import (
+    BACKENDS,
     RunCache,
     RunOutcome,
     run_campaign_parallel,
@@ -64,6 +73,9 @@ from repro.core.fleet import (
 )
 
 __all__ = [
+    "ArtifactStore",
+    "BACKENDS",
+    "CACHE_FORMAT",
     "BlindCornerScenario",
     "BlindCornerTestbed",
     "BrakingAnalysis",

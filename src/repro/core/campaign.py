@@ -29,12 +29,11 @@ from __future__ import annotations
 
 import concurrent.futures
 import dataclasses
-import json
 import os
-import tempfile
 from time import perf_counter
 from typing import Callable, Optional, TYPE_CHECKING
 
+from repro.core.artifacts import ArtifactStore, CACHE_FORMAT
 from repro.core.fingerprint import spec_fingerprint
 from repro.core.measurement import RunMeasurement
 from repro.core.scenario import EmergencyBrakeScenario
@@ -44,19 +43,13 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.faults.plan import FaultPlan
     from repro.obs import ObsAggregate, ObsContext
 
-#: Bump whenever the cache serialisation or run semantics change:
-#: entries written under another version are treated as misses.
-#: v2: fault plans fold into the fingerprint; the package version is
-#: part of the payload.
-#: v3: the kernel tie-break policy (``scenario.tie_break``) is a
-#: scenario field and therefore part of the fingerprint -- cached
-#: runs can never mix tie-break policies.
-#: v4: fingerprints go through the shared
-#: :func:`~repro.core.fingerprint.spec_fingerprint` helper
-#: (``"scenario-v4:..."`` hashed text) and carry an optional *salt*,
-#: so variation campaigns cache under (spec hash, point hash, seed)
-#: without ever colliding with plain campaign entries.
-CACHE_FORMAT = 4
+#: The campaign execution backends ``run_campaign_parallel`` (and
+#: everything riding it) can shard over: ``pool`` is the in-process
+#: ``ProcessPoolExecutor`` sharding of PR 1, ``queue`` the durable
+#: SQLite work queue of :mod:`repro.core.queue` (leases, heartbeat
+#: expiry, retry/requeue on worker loss, dead-letter after bounded
+#: retries).  Both fold to bit-identical results by construction.
+BACKENDS = ("pool", "queue")
 
 
 # ---------------------------------------------------------------------------
@@ -98,48 +91,39 @@ def scenario_fingerprint(scenario: EmergencyBrakeScenario,
 
 
 class RunCache:
-    """A directory of completed runs, one JSON file per fingerprint.
+    """The campaign-facing view of the content-addressed store.
 
-    Writes are atomic (temp file + ``os.replace``) so a campaign
-    killed mid-write never leaves a truncated entry that poisons the
-    next campaign; unreadable, unparsable or wrong-version entries are
-    treated as misses and recomputed.
+    Since CACHE_FORMAT v5 this is a thin measurement-typed wrapper
+    over :class:`~repro.core.artifacts.ArtifactStore`: entries live
+    in the sharded ``objects/`` layout, writes are atomic, and every
+    read verifies the embedded body digest.  The queue backend's
+    workers write to the *same* store under the *same* content keys,
+    so pool and queue campaigns share one cache.  Flat v4 entries in
+    the same directory are ignored (recomputed), never touched.
     """
 
     def __init__(self, root: str):
         self.root = root
-        os.makedirs(root, exist_ok=True)
+        self.store = ArtifactStore(root)
 
     def path(self, key: str) -> str:
         """Where the entry for *key* lives."""
-        return os.path.join(self.root, f"{key}.json")
+        return self.store.path(key)
 
     def get(self, key: str) -> Optional[RunMeasurement]:
         """The cached measurement for *key*, or None on any problem."""
+        body = self.store.get(key)
+        if body is None:
+            return None
         try:
-            with open(self.path(key), "r", encoding="utf-8") as handle:
-                payload = json.load(handle)
-            if payload.get("format") != CACHE_FORMAT:
-                return None
-            return RunMeasurement.from_dict(payload["measurement"])
-        except (OSError, ValueError, KeyError, TypeError):
+            return RunMeasurement.from_dict(body["measurement"])
+        except (ValueError, KeyError, TypeError):
             return None
 
     def put(self, key: str, measurement: RunMeasurement) -> None:
         """Store *measurement* under *key*, atomically."""
-        payload = {"format": CACHE_FORMAT,
-                   "measurement": measurement.to_dict()}
-        fd, tmp_path = tempfile.mkstemp(dir=self.root, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(payload, handle)
-            os.replace(tmp_path, self.path(key))
-        except BaseException:
-            try:
-                os.unlink(tmp_path)
-            except OSError:
-                pass
-            raise
+        self.store.put(key, {"kind": "brake",
+                             "measurement": measurement.to_dict()})
 
 
 # ---------------------------------------------------------------------------
@@ -211,6 +195,8 @@ def run_campaign_parallel(
     fault_plan: Optional["FaultPlan"] = None,
     obs: Optional["ObsAggregate"] = None,
     cache_salt: Optional[str] = None,
+    backend: str = "pool",
+    queue_dir: Optional[str] = None,
 ) -> "CampaignResult":
     """Run *runs* repetitions of *scenario*, sharded over *workers*.
 
@@ -242,6 +228,16 @@ def run_campaign_parallel(
     *cache_salt* is folded into every run's cache fingerprint (see
     :func:`scenario_fingerprint`); it never changes what is simulated,
     only under which key the result is cached.
+
+    *backend* selects where the work items execute: ``"pool"`` (the
+    in-process ``ProcessPoolExecutor``, the default) or ``"queue"``
+    (the durable SQLite work queue of :mod:`repro.core.queue`:
+    *workers* independent worker processes lease items, lost leases
+    are requeued after heartbeat expiry, and exhausted items
+    dead-letter).  Both backends fold to bit-identical results; the
+    queue keeps its state under *queue_dir* (a temporary directory
+    when None) so a killed campaign can be resumed or inspected with
+    the ``queue`` CLI.
     """
     from repro.core.testbed import CampaignResult
 
@@ -250,6 +246,17 @@ def run_campaign_parallel(
     if workers < 0:
         raise ValueError(f"workers must be >= 0 (0 = auto), "
                          f"got {workers}")
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; choose from {BACKENDS}")
+    if backend == "queue":
+        from repro.core.queue.campaign import run_campaign_queue
+
+        return run_campaign_queue(
+            scenario, runs=runs, base_seed=base_seed, workers=workers,
+            cache_dir=cache_dir, progress=progress,
+            fault_plan=fault_plan, obs=obs, cache_salt=cache_salt,
+            queue_dir=queue_dir)
     if workers == 0:
         workers = os.cpu_count() or 1
     scenario = scenario or EmergencyBrakeScenario()

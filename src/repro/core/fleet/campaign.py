@@ -53,6 +53,8 @@ def run_fleet_campaign(
     workers: int = 1,
     progress: Optional[ProgressFn] = None,
     obs=None,
+    backend: str = "pool",
+    queue_dir: Optional[str] = None,
 ) -> FleetCampaignResult:
     """Run *runs* fleet experiments, seeds ``base_seed .. base_seed+runs-1``.
 
@@ -61,8 +63,21 @@ def run_fleet_campaign(
     run-id order and every run is self-contained).  Pass an
     :class:`~repro.obs.ObsAggregate` as *obs* to collect per-run
     observability; the pool path folds worker-local contexts through
-    the exact merge.
+    the exact merge.  ``backend="queue"`` runs the campaign on the
+    durable work queue instead (see :mod:`repro.core.queue`), keeping
+    its state under *queue_dir*; the fold is bit-identical either way.
     """
+    from repro.core.campaign import BACKENDS
+
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; choose from {BACKENDS}")
+    if backend == "queue":
+        from repro.core.queue.campaign import run_fleet_campaign_queue
+
+        return run_fleet_campaign_queue(
+            scenario, runs=runs, base_seed=base_seed, workers=workers,
+            obs=obs, queue_dir=queue_dir)
     base = scenario or FleetScenario()
     if base_seed is None:
         base_seed = base.seed

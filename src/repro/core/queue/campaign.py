@@ -1,0 +1,536 @@
+"""Queue-backed campaigns: enqueue, drive workers, fold results.
+
+The glue between the durable queue and the existing campaign
+results.  Three layers:
+
+* **Enqueue** -- :func:`enqueue_campaign` /
+  :func:`enqueue_fleet_campaign` turn ``(scenario, seed)`` work into
+  :class:`~repro.core.queue.backend.QueueItem` rows whose
+  ``result_key`` is the run's content fingerprint (the very key the
+  pool path caches under) and record the campaign metadata the fold
+  needs to rebuild the result object.
+* **Drive** -- :func:`run_campaign_queue` /
+  :func:`run_fleet_campaign_queue` spawn N worker processes, monitor
+  the queue (expiring lost leases, streaming progress, respawning
+  dead workers while retry budget remains) and fold when every item
+  is done or dead.
+* **Fold** -- :func:`fold_queue_campaign` /
+  :func:`fold_queue_fleet_campaign` stream completed artifacts out of
+  the store *in run-id order* and rebuild the exact
+  :class:`~repro.core.testbed.CampaignResult` /
+  :class:`~repro.core.fleet.result.FleetCampaignResult` (and
+  :class:`~repro.obs.ObsAggregate`) the serial and pool paths
+  produce.
+
+**The bit-identity argument.**  Every item describes a run that is a
+pure function of its payload (deterministic DES per seed); its
+artifact is stored under the content fingerprint of that payload, so
+a crashed-and-retried item recomputes the byte-identical entry; the
+fold consumes items sorted by ``(plan_index, run_id)`` -- a total
+order fixed at enqueue time -- so completion order, lease
+interleaving, worker count, placement and crash history are all
+invisible to the folded bytes.  Dead-lettered items are *not*
+silently dropped: folding an incomplete campaign raises
+:class:`DeadLetterError` naming them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import tempfile
+import time
+from typing import Any, Callable, Dict, List, Optional, Set, TYPE_CHECKING
+
+from repro.core.artifacts import ArtifactStore
+from repro.core.queue.backend import (
+    DEFAULT_LEASE_SECONDS,
+    DEFAULT_MAX_ATTEMPTS,
+    QueueItem,
+    WorkQueue,
+    item_identity,
+)
+from repro.core.queue.worker import (
+    DEFAULT_POLL_SECONDS,
+    WorkerConfig,
+    work_loop,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.fleet.result import FleetCampaignResult
+    from repro.core.fleet.scenario import FleetScenario
+    from repro.core.campaign import ProgressCallback
+    from repro.core.scenario import EmergencyBrakeScenario
+    from repro.core.testbed import CampaignResult
+    from repro.faults.plan import FaultPlan
+    from repro.obs import ObsAggregate
+
+
+class QueueCampaignError(RuntimeError):
+    """A queue campaign could not run to completion."""
+
+
+class DeadLetterError(QueueCampaignError):
+    """Folding was refused because items dead-lettered.
+
+    Carries the dead-letter section so callers can surface *which*
+    items were lost instead of a truncated population.
+    """
+
+    def __init__(self, dead: List[Dict[str, Any]]) -> None:
+        self.dead = dead
+        ids = ", ".join(entry["item_id"][:12] for entry in dead)
+        super().__init__(
+            f"{len(dead)} item(s) exceeded their retry budget and "
+            f"dead-lettered: {ids}; see `queue status` for the "
+            f"dead_letter section")
+
+
+#: Filenames inside a queue directory.
+QUEUE_DB = "queue.sqlite"
+STORE_DIR = "store"
+
+
+def queue_paths(queue_dir: str,
+                cache_dir: Optional[str] = None) -> Dict[str, str]:
+    """Resolve the queue DB and store root inside *queue_dir*.
+
+    With a *cache_dir* the artifact store points there instead, so a
+    queue campaign shares the pool path's run cache.
+    """
+    return {
+        "queue": os.path.join(queue_dir, QUEUE_DB),
+        "store": cache_dir if cache_dir is not None
+        else os.path.join(queue_dir, STORE_DIR),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Enqueue
+# ---------------------------------------------------------------------------
+
+
+def enqueue_campaign(
+    queue: WorkQueue,
+    scenario: "EmergencyBrakeScenario",
+    runs: int,
+    base_seed: int = 1,
+    fault_plan: Optional["FaultPlan"] = None,
+    observe: bool = False,
+    cache_salt: Optional[str] = None,
+    max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+    plan_index: int = 0,
+) -> int:
+    """Enqueue one emergency-brake campaign's ``(scenario, seed)`` items.
+
+    Work item ``i`` runs ``scenario.with_seed(base_seed + i)`` as
+    ``run_id = i + 1`` -- exactly the pool path's sharding.  The
+    campaign metadata (scenario, seeds, family) is recorded on the
+    queue so ``queue fold`` can rebuild the result without the
+    caller's objects.  Returns how many items were newly inserted
+    (re-enqueueing is idempotent).
+    """
+    from repro.core.campaign import scenario_fingerprint
+
+    if runs < 0:
+        raise ValueError(f"runs must be >= 0, got {runs}")
+    if fault_plan is not None and fault_plan.is_empty:
+        fault_plan = None
+    plan_dict = None if fault_plan is None else fault_plan.to_dict()
+    items: List[QueueItem] = []
+    for index in range(runs):
+        run_id = index + 1
+        run_scenario = scenario.with_seed(base_seed + index)
+        payload: Dict[str, Any] = {
+            "scenario": dataclasses.asdict(run_scenario),
+            "fault_plan": plan_dict,
+            "run_id": run_id,
+            "plan_index": plan_index,
+            "observe": observe,
+            "result_key": scenario_fingerprint(
+                run_scenario, fault_plan, salt=cache_salt),
+        }
+        items.append(QueueItem(
+            item_id=item_identity("brake", payload),
+            kind="brake", payload=payload))
+    queue.set_meta("campaign", {
+        "family": "brake",
+        "scenario": dataclasses.asdict(scenario),
+        "runs": runs,
+        "base_seed": base_seed,
+        "observe": observe,
+        "cache_salt": cache_salt,
+    })
+    return queue.enqueue(items, max_attempts=max_attempts)
+
+
+def enqueue_fleet_campaign(
+    queue: WorkQueue,
+    scenario: "FleetScenario",
+    runs: int,
+    base_seed: Optional[int] = None,
+    observe: bool = False,
+    max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+) -> int:
+    """Enqueue one fleet campaign (mirrors ``run_fleet_campaign``)."""
+    from repro.core.fleet.scenario import fleet_fingerprint
+
+    if runs < 0:
+        raise ValueError(f"runs must be >= 0, got {runs}")
+    if base_seed is None:
+        base_seed = scenario.seed
+    items: List[QueueItem] = []
+    for index in range(runs):
+        run_id = index + 1
+        run_scenario = scenario.with_seed(base_seed + index)
+        payload: Dict[str, Any] = {
+            "scenario": dataclasses.asdict(run_scenario),
+            "run_id": run_id,
+            "plan_index": 0,
+            "observe": observe,
+            "result_key": fleet_fingerprint(run_scenario),
+        }
+        items.append(QueueItem(
+            item_id=item_identity("fleet", payload),
+            kind="fleet", payload=payload))
+    queue.set_meta("campaign", {
+        "family": "fleet",
+        "scenario": dataclasses.asdict(scenario),
+        "runs": runs,
+        "base_seed": base_seed,
+        "observe": observe,
+    })
+    return queue.enqueue(items, max_attempts=max_attempts)
+
+
+# ---------------------------------------------------------------------------
+# Drive
+# ---------------------------------------------------------------------------
+
+
+def drive_queue(
+    queue: WorkQueue,
+    queue_path: str,
+    store_root: str,
+    workers: int,
+    lease_seconds: float = DEFAULT_LEASE_SECONDS,
+    poll_seconds: float = DEFAULT_POLL_SECONDS,
+    on_completed: Optional[Callable[[Dict[str, Any]], None]] = None,
+) -> None:
+    """Run workers until every item is done or dead.
+
+    ``workers == 1`` executes the loop in-process (fast, easy to
+    debug); more workers spawn independent processes.  The monitor
+    loop expires lost leases and respawns workers that died (SIGKILL
+    included) while any item still has retry budget -- the queue's
+    bounded ``attempts`` guarantees termination: every lease consumes
+    an attempt, so items either complete or dead-letter.
+
+    *on_completed* streams newly completed item rows (queue order
+    within each poll) to the caller -- the progress seam.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    reported: Set[str] = set()
+
+    def report_new() -> None:
+        if on_completed is None:
+            return
+        for item in queue.items(state="done"):
+            if item["item_id"] not in reported:
+                reported.add(item["item_id"])
+                on_completed(item)
+
+    if workers == 1 or queue.unfinished() <= 1:
+        work_loop(WorkerConfig(
+            queue_path=queue_path, store_root=store_root,
+            worker_id="w1", lease_seconds=lease_seconds,
+            poll_seconds=poll_seconds))
+        queue.expire()
+        report_new()
+        return
+
+    import multiprocessing
+
+    context = multiprocessing.get_context("spawn")
+
+    def spawn(index: int) -> Any:
+        config = WorkerConfig(
+            queue_path=queue_path, store_root=store_root,
+            worker_id=f"w{index}", lease_seconds=lease_seconds,
+            poll_seconds=poll_seconds)
+        process = context.Process(target=work_loop, args=(config,))
+        process.start()
+        return process
+
+    procs = [spawn(index + 1) for index in range(workers)]
+    respawned = 0
+    # Bounded respawn budget: enough to re-cover every attempt the
+    # queue itself allows, never an unbounded supervisor.
+    max_respawns = workers * DEFAULT_MAX_ATTEMPTS
+    try:
+        while queue.unfinished() > 0:
+            queue.expire()
+            report_new()
+            alive = [p for p in procs if p.is_alive()]
+            if not alive and queue.unfinished() > 0:
+                if respawned >= max_respawns:
+                    raise QueueCampaignError(
+                        f"all workers died and the respawn budget "
+                        f"({max_respawns}) is exhausted with "
+                        f"{queue.unfinished()} item(s) unfinished")
+                respawned += 1
+                procs.append(spawn(workers + respawned))
+            time.sleep(poll_seconds)
+        for process in procs:
+            process.join(timeout=30.0)
+    finally:
+        for process in procs:
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=5.0)
+    queue.expire()
+    report_new()
+
+
+# ---------------------------------------------------------------------------
+# Fold
+# ---------------------------------------------------------------------------
+
+
+def _completed_bodies(queue: WorkQueue, store: ArtifactStore,
+                      ) -> List[Dict[str, Any]]:
+    """Completed item rows + verified bodies, in (plan, run_id) order.
+
+    Raises :class:`DeadLetterError` when items dead-lettered and
+    :class:`QueueCampaignError` when items are still unfinished or an
+    artifact fails integrity verification (a done item whose result
+    cannot be read back is a lost result, not a silent hole).
+    """
+    dead = queue.dead_letter()
+    if dead:
+        raise DeadLetterError(dead)
+    unfinished = queue.unfinished()
+    if unfinished:
+        raise QueueCampaignError(
+            f"{unfinished} item(s) still pending or leased; drive "
+            f"the queue (queue work/drain) before folding")
+    rows = queue.items(state="done")
+    rows.sort(key=lambda item: (int(item["payload"]["plan_index"]),
+                                int(item["payload"]["run_id"])))
+    out: List[Dict[str, Any]] = []
+    for item in rows:
+        body = store.get(item["result_key"])
+        if body is None:
+            raise QueueCampaignError(
+                f"artifact {item['result_key'][:12]} for item "
+                f"{item['item_id'][:12]} is missing or failed "
+                f"integrity verification")
+        out.append({"item": item, "body": body})
+    return out
+
+
+def _fold_obs(completed: List[Dict[str, Any]],
+              obs: Optional["ObsAggregate"]) -> None:
+    """Fold stored per-run obs contexts in run order (exact merge)."""
+    if obs is None:
+        return
+    from repro.obs import ObsContext
+
+    for entry in completed:
+        body = entry["body"]
+        if body.get("obs") is not None:
+            obs.add_run(ObsContext.from_dict(body["obs"]),
+                        body.get("wall_s"))
+        else:
+            obs.add_cached()
+
+
+def fold_queue_campaign(queue: WorkQueue, store: ArtifactStore,
+                        obs: Optional["ObsAggregate"] = None,
+                        ) -> "CampaignResult":
+    """Rebuild the emergency-brake :class:`CampaignResult`.
+
+    Streams completed artifacts out of the store in run-id order --
+    the same canonical order the pool path sorts into -- so the
+    result (measurements and, when instrumented, the folded
+    aggregate) is byte-identical to ``workers=1``.
+    """
+    from repro.core.measurement import RunMeasurement
+    from repro.core.scenario import scenario_from_dict
+    from repro.core.testbed import CampaignResult
+
+    meta = queue.get_meta("campaign")
+    if meta is None or meta.get("family") != "brake":
+        raise QueueCampaignError(
+            "queue holds no brake campaign metadata; was it enqueued "
+            "with enqueue_campaign()?")
+    completed = _completed_bodies(queue, store)
+    measurements: List[RunMeasurement] = []
+    for entry in completed:
+        measurement = RunMeasurement.from_dict(
+            entry["body"]["measurement"])
+        # The artifact pins (scenario, seed), not the campaign
+        # position; rebind run_id exactly like a pool cache hit.
+        measurement.run_id = int(entry["item"]["payload"]["run_id"])
+        measurements.append(measurement)
+    _fold_obs(completed, obs)
+    return CampaignResult(
+        scenario=scenario_from_dict(meta["scenario"]),
+        runs=measurements, obs=obs)
+
+
+def fold_queue_fleet_campaign(queue: WorkQueue, store: ArtifactStore,
+                              obs: Optional["ObsAggregate"] = None,
+                              ) -> "FleetCampaignResult":
+    """Rebuild the :class:`FleetCampaignResult` (see brake fold)."""
+    from repro.core.fleet.result import (
+        FleetCampaignResult,
+        FleetRunResult,
+    )
+    from repro.core.fleet.scenario import FleetScenario
+
+    meta = queue.get_meta("campaign")
+    if meta is None or meta.get("family") != "fleet":
+        raise QueueCampaignError(
+            "queue holds no fleet campaign metadata; was it enqueued "
+            "with enqueue_fleet_campaign()?")
+    completed = _completed_bodies(queue, store)
+    runs = [FleetRunResult.from_dict(entry["body"]["run"])
+            for entry in completed]
+    _fold_obs(completed, obs)
+    data = dict(meta["scenario"])
+    if "dcc_thresholds" in data:
+        data["dcc_thresholds"] = tuple(data["dcc_thresholds"])
+    return FleetCampaignResult(scenario=FleetScenario(**data),
+                               runs=runs, obs=obs)
+
+
+# ---------------------------------------------------------------------------
+# One-call drivers (what the backend="queue" switch lands on)
+# ---------------------------------------------------------------------------
+
+
+def run_campaign_queue(
+    scenario: Optional["EmergencyBrakeScenario"] = None,
+    runs: int = 5,
+    base_seed: int = 1,
+    workers: int = 1,
+    cache_dir: Optional[str] = None,
+    progress: Optional["ProgressCallback"] = None,
+    fault_plan: Optional["FaultPlan"] = None,
+    obs: Optional["ObsAggregate"] = None,
+    cache_salt: Optional[str] = None,
+    queue_dir: Optional[str] = None,
+    lease_seconds: float = DEFAULT_LEASE_SECONDS,
+    max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+) -> "CampaignResult":
+    """The queue-backed twin of ``run_campaign_parallel``.
+
+    Enqueues the campaign into *queue_dir* (a fresh temporary
+    directory when None), drives *workers* worker processes to
+    completion -- surviving worker loss via lease expiry and bounded
+    retries -- and folds the streamed results into the bit-identical
+    :class:`CampaignResult`.  With a *cache_dir* the artifact store
+    doubles as the shared run cache, so warm entries complete without
+    simulating (reported as cached through *progress*).
+    """
+    from repro.core.campaign import RunOutcome
+    from repro.core.measurement import RunMeasurement
+    from repro.core.scenario import EmergencyBrakeScenario
+
+    if workers == 0:
+        workers = os.cpu_count() or 1
+    scenario = scenario or EmergencyBrakeScenario()
+    owns_dir = queue_dir is None
+    if owns_dir:
+        queue_dir = tempfile.mkdtemp(prefix="repro-queue-")
+    assert queue_dir is not None
+    paths = queue_paths(queue_dir, cache_dir)
+    queue = WorkQueue(paths["queue"])
+    try:
+        total = runs
+        enqueue_campaign(
+            queue, scenario, runs=runs, base_seed=base_seed,
+            fault_plan=fault_plan, observe=obs is not None,
+            cache_salt=cache_salt, max_attempts=max_attempts)
+        store = ArtifactStore(paths["store"])
+        done = 0
+
+        def on_completed(item: Dict[str, Any]) -> None:
+            nonlocal done
+            done += 1
+            if progress is None:
+                return
+            body = store.get(item["result_key"])
+            if body is None:
+                return
+            measurement = RunMeasurement.from_dict(body["measurement"])
+            run_id = int(item["payload"]["run_id"])
+            measurement.run_id = run_id
+            seed = int(item["payload"]["scenario"]["seed"])
+            progress(RunOutcome(run_id=run_id, seed=seed,
+                                cached=bool(item["cached"]),
+                                measurement=measurement),
+                     done, total)
+
+        if runs > 0:
+            drive_queue(queue, paths["queue"], paths["store"],
+                        workers=min(workers, max(1, runs)),
+                        lease_seconds=lease_seconds,
+                        on_completed=on_completed)
+        return fold_queue_campaign(queue, store, obs=obs)
+    finally:
+        queue.close()
+
+
+def run_fleet_campaign_queue(
+    scenario: Optional["FleetScenario"] = None,
+    runs: int = 3,
+    base_seed: Optional[int] = None,
+    workers: int = 1,
+    obs: Optional["ObsAggregate"] = None,
+    queue_dir: Optional[str] = None,
+    lease_seconds: float = DEFAULT_LEASE_SECONDS,
+    max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+) -> "FleetCampaignResult":
+    """The queue-backed twin of ``run_fleet_campaign``."""
+    from repro.core.fleet.scenario import FleetScenario
+
+    if workers == 0:
+        workers = os.cpu_count() or 1
+    base = scenario or FleetScenario()
+    owns_dir = queue_dir is None
+    if owns_dir:
+        queue_dir = tempfile.mkdtemp(prefix="repro-queue-")
+    assert queue_dir is not None
+    paths = queue_paths(queue_dir)
+    queue = WorkQueue(paths["queue"])
+    try:
+        enqueue_fleet_campaign(
+            queue, base, runs=runs, base_seed=base_seed,
+            observe=obs is not None, max_attempts=max_attempts)
+        store = ArtifactStore(paths["store"])
+        if runs > 0:
+            drive_queue(queue, paths["queue"], paths["store"],
+                        workers=min(workers, max(1, runs)),
+                        lease_seconds=lease_seconds)
+        return fold_queue_fleet_campaign(queue, store, obs=obs)
+    finally:
+        queue.close()
+
+
+__all__ = [
+    "DeadLetterError",
+    "QUEUE_DB",
+    "QueueCampaignError",
+    "STORE_DIR",
+    "drive_queue",
+    "enqueue_campaign",
+    "enqueue_fleet_campaign",
+    "fold_queue_campaign",
+    "fold_queue_fleet_campaign",
+    "queue_paths",
+    "run_campaign_queue",
+    "run_fleet_campaign_queue",
+]

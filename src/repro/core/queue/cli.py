@@ -1,0 +1,265 @@
+"""The ``repro-testbed queue`` subcommand.
+
+Operational surface of the durable work-queue backend
+(:mod:`repro.core.queue`).  A queue directory holds one campaign's
+whole durable state -- ``queue.sqlite`` plus the content-addressed
+``store/`` -- so every action takes ``--dir``:
+
+* ``enqueue`` -- populate the queue with one campaign's work items
+  (idempotent: re-running after a crash never duplicates work);
+* ``work`` -- run one worker process against the queue (the unit the
+  crash tests SIGKILL);
+* ``drain`` -- drive N workers until every item is done or dead;
+* ``status`` -- print the canonical queue-status JSON (state counts,
+  live leases, retries, and the ``dead_letter`` section);
+* ``fold`` -- rebuild the campaign result from the store and print
+  its digest (bit-identical to the serial and pool paths).
+
+Example -- a crash-tolerant campaign in three terminals::
+
+    repro-testbed queue enqueue --dir /tmp/q --runs 50 --seed 1
+    repro-testbed queue drain --dir /tmp/q --workers 4
+    repro-testbed queue fold --dir /tmp/q
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, Optional
+
+from repro.core.queue.backend import (
+    DEFAULT_LEASE_SECONDS,
+    DEFAULT_MAX_ATTEMPTS,
+    WorkQueue,
+)
+from repro.core.queue.campaign import (
+    DeadLetterError,
+    QueueCampaignError,
+    drive_queue,
+    enqueue_campaign,
+    enqueue_fleet_campaign,
+    fold_queue_campaign,
+    fold_queue_fleet_campaign,
+    queue_paths,
+)
+from repro.core.queue.worker import (
+    DEFAULT_POLL_SECONDS,
+    run_worker,
+)
+
+
+def _open_queue(args: argparse.Namespace) -> tuple:
+    paths = queue_paths(args.dir)
+    return WorkQueue(paths["queue"]), paths
+
+
+def _dump(document: Dict[str, Any], path: Optional[str]) -> None:
+    text = json.dumps(document, indent=2, sort_keys=True,
+                      default=repr)
+    if path:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {path}", file=sys.stderr)
+    else:
+        print(text)
+
+
+def cmd_enqueue(args: argparse.Namespace) -> int:
+    queue, _ = _open_queue(args)
+    try:
+        if args.family == "fleet":
+            from repro.core.fleet.scenario import FleetScenario
+
+            inserted = enqueue_fleet_campaign(
+                queue, FleetScenario(), runs=args.runs,
+                base_seed=args.seed, observe=args.observe,
+                max_attempts=args.max_attempts)
+        else:
+            from repro.core.scenario import EmergencyBrakeScenario
+
+            inserted = enqueue_campaign(
+                queue, EmergencyBrakeScenario(), runs=args.runs,
+                base_seed=args.seed, observe=args.observe,
+                max_attempts=args.max_attempts)
+        counts = queue.counts()
+    finally:
+        queue.close()
+    print(f"enqueued {inserted} new item(s) "
+          f"({args.runs} requested) into {args.dir}; "
+          f"queue now: {counts}")
+    return 0
+
+
+def cmd_work(args: argparse.Namespace) -> int:
+    paths = queue_paths(args.dir)
+    completed = run_worker(
+        paths["queue"], paths["store"], args.worker_id,
+        lease_seconds=args.lease, poll_seconds=args.poll,
+        max_items=args.max_items,
+        exit_when_empty=not args.daemon,
+        stall_after_lease=args.stall_after_lease,
+        stall_seconds=args.stall_seconds)
+    print(f"worker {args.worker_id}: completed {completed} item(s)")
+    return 0
+
+
+def cmd_drain(args: argparse.Namespace) -> int:
+    queue, paths = _open_queue(args)
+    try:
+        drive_queue(queue, paths["queue"], paths["store"],
+                    workers=args.workers, lease_seconds=args.lease)
+        counts = queue.counts()
+        dead = queue.dead_letter()
+    finally:
+        queue.close()
+    print(f"drained {args.dir}: {counts}")
+    if dead:
+        print(f"WARNING: {len(dead)} item(s) dead-lettered "
+              f"(see `queue status`)", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_status(args: argparse.Namespace) -> int:
+    queue, _ = _open_queue(args)
+    try:
+        document = queue.status()
+    finally:
+        queue.close()
+    _dump(document, args.json)
+    return 0
+
+
+def cmd_fold(args: argparse.Namespace) -> int:
+    from repro.core.artifacts import ArtifactStore
+
+    queue, paths = _open_queue(args)
+    try:
+        meta = queue.get_meta("campaign")
+        if meta is None:
+            print("repro-testbed: error: queue holds no campaign "
+                  "metadata (run `queue enqueue` first)",
+                  file=sys.stderr)
+            return 1
+        store = ArtifactStore(paths["store"])
+        try:
+            if meta.get("family") == "fleet":
+                fleet_result = fold_queue_fleet_campaign(queue, store)
+                document = {
+                    "family": "fleet",
+                    "runs": len(fleet_result.runs),
+                    "digest": fleet_result.digest(),
+                }
+            else:
+                result = fold_queue_campaign(queue, store)
+                document = {
+                    "family": "brake",
+                    "runs": len(result.runs),
+                    "digest": result.digest(),
+                }
+        except DeadLetterError as error:
+            print(f"repro-testbed: error: {error}", file=sys.stderr)
+            return 1
+        except QueueCampaignError as error:
+            print(f"repro-testbed: error: {error}", file=sys.stderr)
+            return 1
+    finally:
+        queue.close()
+    _dump(document, args.json)
+    return 0
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the ``queue`` action sub-parsers to *parser*."""
+    actions = parser.add_subparsers(dest="queue_command",
+                                    required=True)
+
+    def add_dir(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--dir", required=True, metavar="QUEUE_DIR",
+                         help="queue directory (queue.sqlite + store/)")
+
+    enqueue_parser = actions.add_parser(
+        "enqueue", help="populate the queue with campaign items "
+                        "(idempotent)")
+    add_dir(enqueue_parser)
+    enqueue_parser.add_argument("--family",
+                                choices=("brake", "fleet"),
+                                default="brake",
+                                help="campaign family")
+    enqueue_parser.add_argument("--runs", type=int, default=5,
+                                help="number of (scenario, seed) items")
+    enqueue_parser.add_argument("--seed", type=int, default=1,
+                                help="base seed (item i gets seed+i)")
+    enqueue_parser.add_argument("--observe", action="store_true",
+                                help="instrument every run "
+                                     "(obs context stored per item)")
+    enqueue_parser.add_argument("--max-attempts", type=int,
+                                default=DEFAULT_MAX_ATTEMPTS,
+                                help="leases before an item "
+                                     "dead-letters")
+    enqueue_parser.set_defaults(func=cmd_enqueue)
+
+    work_parser = actions.add_parser(
+        "work", help="run one worker process against the queue")
+    add_dir(work_parser)
+    work_parser.add_argument("--worker-id", required=True,
+                             help="unique id for lease ownership")
+    work_parser.add_argument("--lease", type=float,
+                             default=DEFAULT_LEASE_SECONDS,
+                             help="lease/heartbeat horizon (s)")
+    work_parser.add_argument("--poll", type=float,
+                             default=DEFAULT_POLL_SECONDS,
+                             help="idle poll interval (s)")
+    work_parser.add_argument("--max-items", type=int, default=None,
+                             help="stop after N completions")
+    work_parser.add_argument("--daemon", action="store_true",
+                             help="keep polling after the queue "
+                                  "empties")
+    work_parser.add_argument("--stall-after-lease", type=int,
+                             default=None, metavar="N",
+                             help="crash-test hook: hold the Nth "
+                                  "lease without completing it")
+    work_parser.add_argument("--stall-seconds", type=float,
+                             default=3600.0,
+                             help="how long the stall hook holds")
+    work_parser.set_defaults(func=cmd_work)
+
+    drain_parser = actions.add_parser(
+        "drain", help="drive N workers until done or dead "
+                      "(exit 1 on dead letters)")
+    add_dir(drain_parser)
+    drain_parser.add_argument("--workers", type=int, default=1,
+                              help="worker processes to run")
+    drain_parser.add_argument("--lease", type=float,
+                              default=DEFAULT_LEASE_SECONDS,
+                              help="lease/heartbeat horizon (s)")
+    drain_parser.set_defaults(func=cmd_drain)
+
+    status_parser = actions.add_parser(
+        "status", help="print the canonical queue-status JSON")
+    add_dir(status_parser)
+    status_parser.add_argument("--json", default=None, metavar="FILE",
+                               help="write the document to FILE "
+                                    "instead of stdout")
+    status_parser.set_defaults(func=cmd_status)
+
+    fold_parser = actions.add_parser(
+        "fold", help="fold the completed items into the campaign "
+                     "result and print its digest")
+    add_dir(fold_parser)
+    fold_parser.add_argument("--json", default=None, metavar="FILE",
+                             help="write the summary to FILE "
+                                  "instead of stdout")
+    fold_parser.set_defaults(func=cmd_fold)
+
+
+__all__ = [
+    "add_arguments",
+    "cmd_drain",
+    "cmd_enqueue",
+    "cmd_fold",
+    "cmd_status",
+    "cmd_work",
+]

@@ -462,6 +462,22 @@ class CampaignResult:
         """The Figure 11 sample population (ms)."""
         return self.interval_samples("total", use_clock)
 
+    def digest(self) -> str:
+        """SHA-256 over the canonical run population.
+
+        The bit-identity witness the backend-equivalence tests pin:
+        two campaigns agree on every measurement of every run -- and
+        hence on every derived statistic -- iff their digests match.
+        Hashes the ordered run dicts only (not the observability
+        aggregate, whose wall-clock stats are real measured times).
+        """
+        import hashlib
+
+        from repro.core.fingerprint import canonical_json
+
+        text = canonical_json([run.to_dict() for run in self.runs])
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
 
 def run_campaign(scenario: Optional[EmergencyBrakeScenario] = None,
                  runs: int = 5, base_seed: int = 1) -> CampaignResult:

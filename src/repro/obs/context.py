@@ -194,5 +194,25 @@ class ObsAggregate:
         agg.wall = WallProfiler.from_dict(data["wall"])
         return agg
 
+    def sim_digest(self) -> str:
+        """SHA-256 over the deterministic slice of the aggregate.
+
+        Covers run/cached counts, metrics and span statistics -- the
+        parts the simulation determines -- and excludes the
+        wall-clock profile and per-run wall times, which are real
+        measured durations and never reproducible.  Two campaigns
+        over the same work fold to the same ``sim_digest`` whatever
+        the backend, worker count or crash history.
+        """
+        import hashlib
+
+        from repro.core.fingerprint import canonical_json
+
+        data = self.to_dict()
+        text = canonical_json({key: data[key] for key in
+                               ("runs", "cached_runs", "metrics",
+                                "spans")})
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
 
 __all__ = ["ObsAggregate", "ObsContext", "WallStats"]

@@ -58,6 +58,7 @@ from repro.vary.space import (
     Constraint,
     ContinuousAxis,
     FAMILIES,
+    InfeasibleSpecError,
     IntAxis,
     VARY_FORMAT,
     VariationSpec,
@@ -76,6 +77,7 @@ __all__ = [
     "ContinuousAxis",
     "CoverageModel",
     "FAMILIES",
+    "InfeasibleSpecError",
     "IntAxis",
     "LATENCY_BUCKETS_MS",
     "MaterializedPoint",

@@ -59,6 +59,7 @@ from repro.vary.space import (
     AxisValue,
     Constraint,
     ContinuousAxis,
+    InfeasibleSpecError,
     VariationSpec,
     point_key,
 )
@@ -205,14 +206,22 @@ def _evaluate_point(
     cache_dir: Optional[str],
     tie_break: Optional[str],
     envelope: Optional[SafetyEnvelope],
+    backend: str = "pool",
+    queue_dir: Optional[str] = None,
 ) -> Tuple[Tuple[str, ...], Tuple[float, ...], Tuple[str, ...]]:
     """Run one point: (verdicts, latencies ms, fault kinds)."""
     point = materialize(spec, values, tie_break=tie_break)
     salt = f"{spec.fingerprint()}:{key}"
+    point_queue_dir = None
+    if queue_dir is not None:
+        import os
+
+        point_queue_dir = os.path.join(queue_dir, f"point-{key[:12]}")
     if isinstance(point.scenario, FleetScenario):
         campaign = run_fleet_campaign(
             point.scenario, runs=runs_per_point, base_seed=base_seed,
-            workers=workers)
+            workers=workers, backend=backend,
+            queue_dir=point_queue_dir)
         verdicts = tuple(run.verdict for run in campaign.runs)
         latencies = tuple(sorted(
             value for run in campaign.runs
@@ -223,7 +232,8 @@ def _evaluate_point(
         matrix = run_fault_matrix(
             scenario=point.scenario, plans=[plan],
             runs=runs_per_point, base_seed=base_seed, workers=workers,
-            cache_dir=cache_dir, envelope=envelope, cache_salt=salt)
+            cache_dir=cache_dir, envelope=envelope, cache_salt=salt,
+            backend=backend, queue_dir=point_queue_dir)
         row = matrix.rows[0]
         verdicts = tuple(entry.verdict for entry in row.verdicts)
         latencies = tuple(sorted(
@@ -231,6 +241,17 @@ def _evaluate_point(
             if entry.total_delay_ms is not None))
         kinds = tuple(sorted({fault.KIND for fault in plan.faults}))
     return verdicts, latencies, kinds
+
+
+def _candidate_count(spec: VariationSpec, origin: str, levels: int,
+                     points: int) -> int:
+    """How many raw samples the sampler drew before constraints."""
+    if origin == "grid":
+        count = 1
+        for axis in spec.axes:
+            count *= len(axis.grid(levels))
+        return count
+    return points
 
 
 def run_variation_campaign(
@@ -248,6 +269,8 @@ def run_variation_campaign(
     tie_break: Optional[str] = None,
     envelope: Optional[SafetyEnvelope] = None,
     progress: Optional[VaryProgress] = None,
+    backend: str = "pool",
+    queue_dir: Optional[str] = None,
 ) -> VariationResult:
     """Sample *spec*, run every point, and fold coverage.
 
@@ -262,7 +285,14 @@ def run_variation_campaign(
     the family's parallel engine; *workers* only shards those runs --
     the report is byte-identical for any value.  *tie_break*
     optionally overrides the kernel tie-break policy per run and by
-    design cannot change any result.
+    design cannot change any result.  *backend*/*queue_dir* forward
+    to the campaign engine (``"queue"`` = the durable work queue,
+    per-point state under ``queue_dir/point-<key>``); the backend
+    cannot change any result either.
+
+    A spec whose constraints reject every candidate point raises
+    :class:`~repro.vary.space.InfeasibleSpecError` -- an empty
+    campaign is a spec bug, not a valid (vacuously covered) report.
     """
     if sampler not in SAMPLERS:
         raise ValueError(
@@ -279,6 +309,10 @@ def run_variation_campaign(
     else:
         initial = lhs_points(spec, points, seed=sample_seed)
         origin = "lhs"
+    if not initial:
+        raise InfeasibleSpecError(
+            spec.name, _candidate_count(spec, origin, levels, points),
+            origin)
     rounds = refine_rounds
     if sampler == "adaptive":
         rounds = max(1, refine_rounds)
@@ -306,7 +340,8 @@ def run_variation_campaign(
         seen_keys.add(key)
         verdicts, latencies, kinds = _evaluate_point(
             spec, values, key, runs_per_point, base_seed, workers,
-            cache_dir, tie_break, envelope)
+            cache_dir, tie_break, envelope, backend=backend,
+            queue_dir=queue_dir)
         point = PointResult(
             index=len(results), values=values, key=key,
             origin=origin, parents=parents, verdicts=verdicts,
@@ -345,14 +380,23 @@ def sample_only(spec: VariationSpec, sampler: str = "grid",
 
     ``adaptive`` yields its LHS seeding (refinements depend on
     verdicts, which require running).  Backs ``vary sample`` and
-    ``--dry-run``.
+    ``--dry-run``.  Like the campaign, an all-infeasible sample
+    raises :class:`~repro.vary.space.InfeasibleSpecError`.
     """
     if sampler not in SAMPLERS:
         raise ValueError(
             f"unknown sampler {sampler!r}; choose from {SAMPLERS}")
     if sampler == "grid":
-        return grid_points(spec, levels=levels)
-    return lhs_points(spec, points, seed=sample_seed)
+        sampled = grid_points(spec, levels=levels)
+        origin = "grid"
+    else:
+        sampled = lhs_points(spec, points, seed=sample_seed)
+        origin = "lhs"
+    if not sampled:
+        raise InfeasibleSpecError(
+            spec.name, _candidate_count(spec, origin, levels, points),
+            origin)
+    return sampled
 
 
 # ---------------------------------------------------------------------------

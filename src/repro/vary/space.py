@@ -36,6 +36,25 @@ FAMILIES = ("emergency_brake", "fleet")
 AxisValue = Union[bool, int, float, str]
 
 
+class InfeasibleSpecError(ValueError):
+    """Every sampled point of a spec violated its constraints.
+
+    Raised by the campaign layer instead of silently producing an
+    empty (vacuously covered) report: a spec whose constraint set
+    rejects the whole sampled space is a spec bug the author must
+    see.  Carries the spec name and how many candidates were tried.
+    """
+
+    def __init__(self, spec_name: str, tried: int, sampler: str):
+        self.spec_name = spec_name
+        self.tried = tried
+        self.sampler = sampler
+        super().__init__(
+            f"spec {spec_name!r} is infeasible: all {tried} "
+            f"candidate point(s) from the {sampler!r} sampler "
+            f"violate its constraints")
+
+
 # ---------------------------------------------------------------------------
 # Axes
 # ---------------------------------------------------------------------------

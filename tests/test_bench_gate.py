@@ -155,3 +155,63 @@ class TestCli:
         bad = self.write(tmp_path, "bad.json", {"nope": 1})
         with pytest.raises(SystemExit):
             main(["bench-gate", "--fresh", bad, "--baseline", base])
+
+    def test_no_baseline_match_is_clean_pass(self, tmp_path,
+                                             baseline, capsys):
+        from repro.cli import main
+
+        fresh = self.write(tmp_path, "fresh.json", baseline)
+        pattern = str(tmp_path / "BENCH_*.json")
+        assert main(["bench-gate", "--fresh", fresh,
+                     "--baseline", pattern]) == 0
+        out = capsys.readouterr().out
+        assert "verdict: NO-BASELINE" in out
+        assert pattern in out
+
+    def test_no_baseline_json_status(self, tmp_path, baseline):
+        from repro.cli import main
+
+        fresh = self.write(tmp_path, "fresh.json", baseline)
+        out = str(tmp_path / "gate.json")
+        assert main(["bench-gate", "--fresh", fresh,
+                     "--baseline", str(tmp_path / "BENCH_*.json"),
+                     "--json", out]) == 0
+        with open(out, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        assert payload["status"] == "no-baseline"
+        assert payload["fresh_revision"] == \
+            str(baseline.get("revision", "unknown"))
+
+    def test_missing_explicit_baseline_is_clean_pass(
+            self, tmp_path, baseline, capsys):
+        # The growth harness points --baseline at a committed file
+        # that may simply not exist yet; that must not break CI.
+        from repro.cli import main
+
+        fresh = self.write(tmp_path, "fresh.json", baseline)
+        assert main(["bench-gate", "--fresh", fresh,
+                     "--baseline",
+                     str(tmp_path / "BENCH_none.json")]) == 0
+        assert "NO-BASELINE" in capsys.readouterr().out
+
+    def test_ambiguous_baseline_glob_is_clean_error(
+            self, tmp_path, baseline):
+        from repro.cli import main
+
+        fresh = self.write(tmp_path, "fresh.json", baseline)
+        self.write(tmp_path, "BENCH_a.json", baseline)
+        self.write(tmp_path, "BENCH_b.json", baseline)
+        with pytest.raises(SystemExit, match="matches 2"):
+            main(["bench-gate", "--fresh", fresh,
+                  "--baseline", str(tmp_path / "BENCH_*.json")])
+
+    def test_single_glob_match_gates_normally(self, tmp_path,
+                                              baseline, capsys):
+        from repro.cli import main
+
+        fresh = self.write(tmp_path, "fresh.json", baseline)
+        self.write(tmp_path, "BENCH_a.json", baseline)
+        assert main(["bench-gate", "--fresh", fresh,
+                     "--baseline",
+                     str(tmp_path / "BENCH_*.json")]) == 0
+        assert "verdict: PASS" in capsys.readouterr().out

@@ -253,15 +253,49 @@ class TestRunCache:
             json.dump(payload, handle)
         assert cache.get("k") is None
 
+    def test_v4_flat_entry_is_ignored_and_left_untouched(
+            self, tmp_path):
+        # Pre-v5 caches stored one flat <key>.json per fingerprint in
+        # the cache root; the sharded store never reads them, never
+        # rewrites them, and recomputes into objects/ instead.
+        key = scenario_fingerprint(FAST.with_seed(3))
+        legacy = tmp_path / f"{key}.json"
+        legacy.write_text(json.dumps(
+            {"format": CACHE_FORMAT - 1, "version": "0.0",
+             "payload": {"stale": True}}))
+        before = legacy.read_bytes()
+        events = []
+        result = run_campaign_parallel(
+            FAST, runs=1, base_seed=3, workers=1,
+            cache_dir=str(tmp_path),
+            progress=lambda o, d, t: events.append(o.cached))
+        assert events == [False]  # the legacy entry is a miss
+        assert legacy.read_bytes() == before  # ... and untouched
+        cache = RunCache(str(tmp_path))
+        assert cache.get(key) is not None  # recompute landed in v5
+        assert os.path.relpath(cache.path(key),
+                               str(tmp_path)).startswith("objects")
+        # A second campaign replays from the migrated entry.
+        warm_events = []
+        warm = run_campaign_parallel(
+            FAST, runs=1, base_seed=3, workers=1,
+            cache_dir=str(tmp_path),
+            progress=lambda o, d, t: warm_events.append(o.cached))
+        assert warm_events == [True]
+        assert as_dicts(warm) == as_dicts(result)
+
     def test_creates_nested_cache_dir(self, tmp_path):
         nested = os.path.join(str(tmp_path), "a", "b")
         run_campaign_parallel(FAST, runs=1, base_seed=3, workers=1,
                               cache_dir=nested)
         assert os.path.isdir(nested)
-        assert len(os.listdir(nested)) == 1
+        assert len(RunCache(nested).store.keys()) == 1
 
     def test_no_stray_temp_files(self, tmp_path):
         run_campaign_parallel(FAST, runs=2, base_seed=3, workers=1,
                               cache_dir=str(tmp_path))
-        assert all(name.endswith(".json")
-                   for name in os.listdir(str(tmp_path)))
+        # Every *file* anywhere under the store is a committed .json
+        # entry -- atomic writes leave no temp files behind.
+        for root, _dirs, files in os.walk(str(tmp_path)):
+            assert all(name.endswith(".json") for name in files), \
+                (root, files)

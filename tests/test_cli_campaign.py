@@ -5,8 +5,6 @@
 progress stream on stderr.
 """
 
-import os
-
 import pytest
 
 from repro.cli import build_parser, main
@@ -29,7 +27,9 @@ class TestCampaignFlags:
         assert main(argv) == 0
         cold = capsys.readouterr()
         assert "simulated" in cold.err
-        assert len(os.listdir(cache_dir)) == 2
+        from repro.core.campaign import RunCache
+
+        assert len(RunCache(cache_dir).store.keys()) == 2
 
         assert main(argv) == 0
         warm = capsys.readouterr()

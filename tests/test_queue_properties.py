@@ -1,0 +1,178 @@
+"""Property tests: queue folds are invariant to interleavings.
+
+Hypothesis drives the work queue through arbitrary schedules --
+shuffled enqueue orders, interleaved lease/complete/fail/expire
+sequences from several competing workers, lease losses and retries --
+and the folded campaign must come out byte-identical every time.
+This is the fold's core claim (ARCHITECTURE.md §14) exercised at the
+state-machine level: the simulation runs once (to mint the reference
+artifacts); everything Hypothesis permutes is pure queue mechanics.
+"""
+
+import functools
+import tempfile
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import EmergencyBrakeScenario, run_campaign_parallel
+from repro.core.artifacts import ArtifactStore
+from repro.core.fingerprint import canonical_json
+from repro.core.queue import (
+    QueueItem,
+    WorkQueue,
+    enqueue_campaign,
+    fold_queue_campaign,
+)
+from repro.core.queue.campaign import queue_paths
+
+#: A short scenario so the one-time reference campaign stays fast.
+FAST = EmergencyBrakeScenario(start_distance=4.0, timeout=15.0)
+
+RUNS = 3
+BASE_SEED = 9
+LEASE = 10.0
+WORKERS = ("w0", "w1", "w2")
+
+
+@functools.lru_cache(maxsize=1)
+def reference():
+    """One-time ground truth: digest, item payloads, artifacts, meta.
+
+    The campaign is simulated exactly once; every Hypothesis example
+    then replays pure queue mechanics against these fixed artifacts.
+    """
+    serial = run_campaign_parallel(FAST, runs=RUNS,
+                                   base_seed=BASE_SEED, workers=1)
+    scratch = tempfile.mkdtemp(prefix="queue-prop-ref-")
+    paths = queue_paths(scratch)
+    queue = WorkQueue(paths["queue"])
+    enqueue_campaign(queue, FAST, runs=RUNS, base_seed=BASE_SEED)
+    items = queue.items()
+    meta = queue.get_meta("campaign")
+    queue.close()
+    bodies = {}
+    for item, measurement in zip(items, serial.runs):
+        assert int(item["payload"]["run_id"]) == measurement.run_id
+        bodies[str(item["payload"]["result_key"])] = {
+            "kind": "brake",
+            "measurement": measurement.to_dict(),
+        }
+    serial_bytes = canonical_json(
+        [run.to_dict() for run in serial.runs])
+    return serial.digest(), serial_bytes, items, bodies, meta
+
+
+def fresh_queue(order, clock):
+    """A new queue holding the reference items enqueued in *order*."""
+    _, _, items, _, meta = reference()
+    paths = queue_paths(tempfile.mkdtemp(prefix="queue-prop-"))
+    queue = WorkQueue(paths["queue"], clock=clock)
+    queue.enqueue(
+        [QueueItem(item_id=items[index]["item_id"],
+                   kind=items[index]["kind"],
+                   payload=items[index]["payload"])
+         for index in order],
+        max_attempts=10_000)  # never dead-letter inside a property
+    queue.set_meta("campaign", meta)
+    return queue, ArtifactStore(paths["store"])
+
+
+def fold_bytes(queue, store):
+    """The canonical bytes of the folded campaign."""
+    result = fold_queue_campaign(queue, store)
+    return canonical_json([run.to_dict() for run in result.runs])
+
+
+#: One schedule step: which worker acts, and how.
+STEP = st.tuples(
+    st.sampled_from(("lease", "complete", "fail", "expire")),
+    st.integers(min_value=0, max_value=len(WORKERS) - 1))
+
+
+def run_schedule(queue, store, steps):
+    """Drive the queue through *steps*, then drain what remains.
+
+    Workers "execute" an item by writing its reference artifact --
+    exactly what a real worker computes, minus the simulation -- so
+    completions are indistinguishable from the real thing.
+    """
+    _, _, _, bodies, _ = reference()
+    held = {worker: [] for worker in WORKERS}
+    clock = {"t": 0.0}
+
+    def do_lease(worker):
+        leased = queue.lease(worker, LEASE, now=clock["t"])
+        if leased is not None:
+            held[worker].append(leased)
+
+    def do_complete(worker):
+        if not held[worker]:
+            return
+        leased = held[worker].pop(0)
+        key = str(leased.payload["result_key"])
+        store.put(key, bodies[key])
+        queue.complete(worker, leased.item_id, key,
+                       now=clock["t"])
+
+    def do_fail(worker):
+        if not held[worker]:
+            return
+        leased = held[worker].pop(0)
+        queue.fail(worker, leased.item_id, "injected failure",
+                   now=clock["t"])
+
+    def do_expire(_worker):
+        # Everyone's lease lapses; stale holders keep their handles
+        # and later bounce off the owner guard.
+        clock["t"] += LEASE + 1.0
+        queue.expire(now=clock["t"])
+
+    actions = {"lease": do_lease, "complete": do_complete,
+               "fail": do_fail, "expire": do_expire}
+    for kind, worker_index in steps:
+        actions[kind](WORKERS[worker_index])
+
+    # Drain deterministically so every example reaches a full fold.
+    while queue.unfinished() > 0:
+        leased = queue.lease("drain", LEASE, now=clock["t"])
+        if leased is None:
+            clock["t"] += LEASE + 1.0
+            queue.expire(now=clock["t"])
+            continue
+        key = str(leased.payload["result_key"])
+        store.put(key, bodies[key])
+        queue.complete("drain", leased.item_id, key, now=clock["t"])
+
+
+class TestFoldInvariance:
+    """Same items, any schedule, same bytes."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(order=st.permutations(list(range(RUNS))),
+           steps=st.lists(STEP, max_size=30))
+    def test_any_interleaving_folds_to_identical_bytes(
+            self, order, steps):
+        digest, serial_bytes, _, _, _ = reference()
+        clock = {"t": 0.0}
+        queue, store = fresh_queue(order, clock=lambda: clock["t"])
+        run_schedule(queue, store, steps)
+        payload = fold_bytes(queue, store)
+        result = fold_queue_campaign(queue, store)
+        queue.close()
+        assert result.digest() == digest
+        # And the canonical bytes themselves, not just the digest.
+        assert payload == serial_bytes
+
+    @settings(max_examples=10, deadline=None)
+    @given(order=st.permutations(list(range(RUNS))))
+    def test_enqueue_order_never_changes_fold(self, order):
+        digest, _, _, _, _ = reference()
+        clock = {"t": 0.0}
+        queue, store = fresh_queue(order, clock=lambda: clock["t"])
+        run_schedule(queue, store, [])
+        result = fold_queue_campaign(queue, store)
+        queue.close()
+        assert result.digest() == digest
+        assert [run.run_id for run in result.runs] == \
+            list(range(1, RUNS + 1))

@@ -19,7 +19,10 @@ from repro.cli import main
 from repro.core.campaign import scenario_fingerprint
 from repro.core.scenario import EmergencyBrakeScenario
 from repro.vary import (
+    Constraint,
+    ContinuousAxis,
     PointResult,
+    VariationSpec,
     VariationResult,
     blind_corner_demo,
     brake_demo,
@@ -148,6 +151,85 @@ class TestBrakeFamily:
         with pytest.raises(ValueError):
             materialize(spec, {"action_distance": 5.0,
                                "start_distance": 4.0})
+
+
+def _infeasible_spec():
+    """A spec whose constraint rejects every candidate point."""
+    return VariationSpec(
+        name="impossible",
+        family="emergency_brake",
+        axes=(
+            ContinuousAxis("action_distance", 10.0, 12.0),
+            ContinuousAxis("start_distance", 1.0, 2.0),
+        ),
+        constraints=(
+            Constraint(lhs="action_distance", op="<",
+                       rhs_axis="start_distance"),
+        ),
+    )
+
+
+class TestSamplerEdgeCases:
+    """Degenerate inputs the adaptive sampler must survive cleanly."""
+
+    def test_zero_refine_budget_completes_without_refinements(self):
+        spec = blind_corner_demo()
+        result = run_variation_campaign(
+            spec, sampler="adaptive", points=3, base_seed=1,
+            refine_budget=0)
+        assert result.refinements == []
+        assert [p.origin for p in result.points] == ["lhs"] * 3
+        assert result.sampler["refine_budget"] == 0
+        # The report still folds and round-trips.
+        assert VariationResult.from_dict(
+            result.to_dict()).digest() == result.digest()
+
+    def test_all_safe_campaign_refines_nothing(self):
+        # A narrow box entirely inside the SAFE region: plenty of
+        # warning time, short approach -- no boundary to bisect.
+        spec = VariationSpec(
+            name="all-safe",
+            family="fleet",
+            axes=(
+                ContinuousAxis("protagonist_start", 9.0, 11.0),
+                ContinuousAxis("warning_after", 1.0, 1.2),
+            ),
+            base={"workload": "blind_corner", "n_obus": 2,
+                  "duration": 6.0},
+        )
+        result = run_variation_campaign(
+            spec, sampler="adaptive", points=3, base_seed=1,
+            refine_budget=3)
+        assert all(is_safe_verdict(p.worst) for p in result.points)
+        assert result.refinements == []
+        assert len(result.points) == 3
+
+    def test_infeasible_spec_raises_typed_error(self):
+        from repro.vary import InfeasibleSpecError
+
+        with pytest.raises(InfeasibleSpecError) as excinfo:
+            run_variation_campaign(_infeasible_spec(),
+                                   sampler="grid", levels=2)
+        error = excinfo.value
+        assert isinstance(error, ValueError)
+        assert error.spec_name == "impossible"
+        assert error.sampler == "grid"
+        assert error.tried == 4  # 2 levels x 2 axes, all rejected
+
+    def test_infeasible_spec_raises_for_lhs_too(self):
+        from repro.vary import InfeasibleSpecError
+
+        with pytest.raises(InfeasibleSpecError) as excinfo:
+            run_variation_campaign(_infeasible_spec(),
+                                   sampler="lhs", points=5)
+        assert excinfo.value.sampler == "lhs"
+        assert excinfo.value.tried == 5
+
+    def test_sample_only_infeasible_raises_typed_error(self):
+        from repro.vary import InfeasibleSpecError
+
+        with pytest.raises(InfeasibleSpecError, match="infeasible"):
+            sample_only(_infeasible_spec(), sampler="grid", levels=3)
 
 
 class TestCli:
