@@ -8,11 +8,13 @@ install:
 test:
 	pytest tests/ -q
 
-# The determinism linter gates on a clean tree (exit 1 on findings);
-# ruff/mypy also gate when installed, and are skipped when absent so
-# the target works in a bare checkout (detlint itself needs no deps).
+# The determinism linter gates on a clean tree (exit 1 on findings,
+# 2 on usage errors) and runs all three rule families: DET001..DET008,
+# SCH001..SCH003 and EFF001..EFF008.  ruff/mypy also gate when
+# installed, and are skipped when absent so the target works in a
+# bare checkout (detlint itself needs no deps).
 lint:
-	python tools/detlint src/ --output detlint.json
+	python tools/detlint src/ --output detlint.json --sarif-output detlint.sarif
 	@if command -v ruff >/dev/null 2>&1; \
 	then ruff check src/ tests/ benchmarks/ examples/; \
 	else echo "ruff not installed; skipped"; fi

@@ -15,17 +15,32 @@ Entry points:
 * ``tools/detlint src/`` (standalone script, same engine);
 * :func:`lint_paths` (library API).
 
-The rule catalogue (DET001..DET008) is documented in
-ARCHITECTURE.md §10; per-line suppressions use
-``# detlint: ignore[DET00x] -- reason``.
+Three rule families share one engine: the per-file determinism
+rules (DET001..DET008, ARCHITECTURE.md §10), the interprocedural
+schedule-race rules (SCH001..SCH003, §11) and the effect-discipline
+rules (EFF001..EFF008, §15) that check durable I/O, queue
+transactions and RNG substream naming.  Per-statement suppressions
+use ``# detlint: ignore[DET00x] -- reason``.
 """
 
 from __future__ import annotations
 
 from repro.analysis.baseline import Baseline
-from repro.analysis.engine import LintResult, lint_paths
+from repro.analysis.effect_rules import (
+    all_effect_rules,
+    effect_rule_ids,
+)
+from repro.analysis.engine import (
+    LintResult,
+    UnknownRuleError,
+    lint_paths,
+)
 from repro.analysis.findings import Finding
-from repro.analysis.reporters import render_json, render_text
+from repro.analysis.reporters import (
+    render_json,
+    render_sarif,
+    render_text,
+)
 from repro.analysis.rules import Rule, all_rules, rule_ids
 
 __all__ = [
@@ -33,9 +48,13 @@ __all__ = [
     "Finding",
     "LintResult",
     "Rule",
+    "UnknownRuleError",
+    "all_effect_rules",
     "all_rules",
+    "effect_rule_ids",
     "lint_paths",
     "render_json",
+    "render_sarif",
     "render_text",
     "rule_ids",
 ]

@@ -94,6 +94,8 @@ class Baseline:
                 json.dump(self.to_dict(), handle, indent=2,
                           sort_keys=True)
                 handle.write("\n")
+                handle.flush()
+                os.fsync(handle.fileno())
             os.replace(tmp_path, path)
         except BaseException:
             try:

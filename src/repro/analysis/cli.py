@@ -5,7 +5,9 @@ both build their argument parser from :func:`add_arguments` and
 execute through :func:`run`, so flags and behaviour can never drift
 apart.
 
-Exit codes: 0 clean, 1 findings, 2 usage errors (argparse).
+Exit codes: 0 clean, 1 findings, 2 usage errors (argparse *and*
+unknown rule ids: a typo'd ``--select`` must read as a broken
+invocation in CI, never as a clean lint).
 """
 
 from __future__ import annotations
@@ -15,10 +17,11 @@ import sys
 from typing import List, Optional
 
 from repro.analysis.baseline import Baseline
-from repro.analysis.engine import lint_paths
+from repro.analysis.engine import UnknownRuleError, lint_paths
 from repro.analysis.reporters import (
     render_json,
     render_rules_text,
+    render_sarif,
     render_text,
 )
 
@@ -34,12 +37,17 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
                         metavar="PATH",
                         help="files or directories to lint "
                              "(default: src/)")
-    parser.add_argument("--format", choices=("text", "json"),
+    parser.add_argument("--format",
+                        choices=("text", "json", "sarif"),
                         default="text",
                         help="report format (default: text)")
     parser.add_argument("--output", default=None, metavar="FILE",
-                        help="also write the report to FILE "
+                        help="also write the JSON report to FILE "
                              "(the CI artifact path)")
+    parser.add_argument("--sarif-output", default=None,
+                        metavar="FILE",
+                        help="also write the SARIF report to FILE "
+                             "(the CI code-scanning upload)")
     parser.add_argument("--baseline", default=None, metavar="FILE",
                         help="subtract the grandfathered findings "
                              "recorded in FILE")
@@ -82,6 +90,9 @@ def run(args: argparse.Namespace) -> int:
             ignore=args.ignore,
             baseline=baseline,
             warn_suppressions=not args.no_unused_suppressions)
+    except UnknownRuleError as error:
+        print(f"detlint: error: {error}", file=sys.stderr)
+        return 2
     except (OSError, ValueError) as error:
         raise SystemExit(f"detlint: error: {error}") from error
     if args.write_baseline is not None:
@@ -92,13 +103,20 @@ def run(args: argparse.Namespace) -> int:
               f"{'y' if len(result.findings) == 1 else 'ies'} to "
               f"{args.write_baseline}")
         return 0
-    report = (render_json(result) if args.format == "json"
-              else render_text(result))
+    if args.format == "json":
+        report = render_json(result)
+    elif args.format == "sarif":
+        report = render_sarif(result)
+    else:
+        report = render_text(result)
     sys.stdout.write(report)
     if args.output is not None:
         # The artifact is always the JSON form, whatever is printed.
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(render_json(result))
+    if args.sarif_output is not None:
+        with open(args.sarif_output, "w", encoding="utf-8") as handle:
+            handle.write(render_sarif(result))
     return result.exit_code
 
 
@@ -108,7 +126,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         prog="detlint",
         description="AST determinism linter for the repro testbed "
                     "(per-file rules DET001..DET008, project rules "
-                    "SCH001..SCH003; see ARCHITECTURE.md §10-§11)")
+                    "SCH001..SCH003 and EFF001..EFF008; see "
+                    "ARCHITECTURE.md §10-§11, §15)")
     add_arguments(parser)
     return run(parser.parse_args(argv))
 

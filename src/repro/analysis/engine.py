@@ -4,8 +4,8 @@
 ``tools/detlint`` script and the test suite.  It walks the given
 files/directories in sorted order, parses each Python file once,
 runs every selected per-file rule over the shared
-:class:`ModuleContext`, then runs the *project* rules (the SCH
-family) once over all parsed modules together, and finally filters
+:class:`ModuleContext`, then runs the *project* rules (the SCH and
+EFF families) once over all parsed modules together, and finally filters
 everything through statement-level suppressions and the optional
 baseline.  The result is fully deterministic: findings are sorted by
 (path, line, column, rule) and paths are normalised to forward
@@ -21,6 +21,7 @@ import os
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.analysis.baseline import Baseline
+from repro.analysis.effect_rules import all_effect_rules
 from repro.analysis.findings import Finding
 from repro.analysis.rules import (
     ModuleContext,
@@ -43,6 +44,23 @@ from repro.analysis.suppressions import (
 )
 
 
+#: The rule families, for error messages and reports.  One line per
+#: family: (id range, one-phrase subject).
+RULE_FAMILIES: Tuple[Tuple[str, str], ...] = (
+    ("DET001..DET008", "per-file determinism"),
+    ("SCH001..SCH003", "schedule races"),
+    ("EFF001..EFF008", "effect discipline"),
+)
+
+
+class UnknownRuleError(ValueError):
+    """A --select/--ignore id that matches no registered rule.
+
+    A usage error, not a lint finding: the CLI maps it to exit
+    code 2 so CI can tell a typo'd rule id from real findings.
+    """
+
+
 @dataclasses.dataclass
 class LintResult:
     """Everything one lint invocation produced."""
@@ -53,6 +71,11 @@ class LintResult:
     grandfathered: List[Finding]
     #: How many Python files were parsed and checked.
     files_checked: int
+    #: Suppressions that silenced nothing (DET000 meta-findings with
+    #: file+line), reported separately so the JSON artifact stays
+    #: actionable even when they are configured not to gate.
+    unused_suppressions: List[Finding] = dataclasses.field(
+        default_factory=list)
 
     @property
     def exit_code(self) -> int:
@@ -119,18 +142,23 @@ def _selected_rules(
         ignore: Optional[Iterable[str]],
 ) -> Tuple[List[Rule], List[ProjectRule]]:
     """(per-file rules, project rules) matching select/ignore."""
-    known = set(rule_ids()) | set(project_rule_ids())
+    registered_project = list(all_project_rules()) \
+        + list(all_effect_rules())
+    known = set(rule_ids()) \
+        | {rule.rule_id for rule in registered_project}
     chosen = set(select) if select else set(known)
     dropped = set(ignore) if ignore else set()
     unknown = sorted((chosen | dropped) - known - {META_RULE})
     if unknown:
-        raise ValueError(
-            f"unknown rule id(s): {', '.join(unknown)}; known rules "
-            f"are {', '.join(sorted(known))}")
+        families = ", ".join(f"{ids} ({subject})"
+                             for ids, subject in RULE_FAMILIES)
+        raise UnknownRuleError(
+            f"unknown rule id(s): {', '.join(unknown)}; valid "
+            f"families are {families}")
     wanted = chosen - dropped
     file_rules = [rule for rule in all_rules()
                   if rule.rule_id in wanted]
-    project_rules = [rule for rule in all_project_rules()
+    project_rules = [rule for rule in registered_project
                      if rule.rule_id in wanted]
     return file_rules, project_rules
 
@@ -171,17 +199,25 @@ def _check_file(source: str, path: str,
 
 def _finalise(state: _FileState, extra: Sequence[Finding],
               warn_suppressions: bool,
-              active_rules: Optional[set] = None) -> List[Finding]:
-    """Apply suppressions to per-file plus project findings."""
+              active_rules: Optional[set] = None
+              ) -> Tuple[List[Finding], List[Finding]]:
+    """Apply suppressions to per-file plus project findings.
+
+    Returns ``(findings, unused)``: the gating findings (including
+    the unused-suppression meta-findings when they are configured to
+    gate) plus the unused-suppression findings on their own, so the
+    JSON report can list them with file+line either way.
+    """
     if state.ctx is None:
-        return sorted(state.raw, key=Finding.sort_key)
+        return sorted(state.raw, key=Finding.sort_key), []
     kept, unused = apply_suppressions(
         state.raw + list(extra), state.suppressions, state.path,
         state.ctx.lines, state.ctx.tree, active_rules)
     findings = kept + state.problems
     if warn_suppressions:
         findings += unused
-    return sorted(findings, key=Finding.sort_key)
+    return sorted(findings, key=Finding.sort_key), \
+        sorted(unused, key=Finding.sort_key)
 
 
 def lint_source(source: str, path: str,
@@ -196,8 +232,9 @@ def lint_source(source: str, path: str,
     path = normalise_path(path)
     active = rules if rules is not None else all_rules()
     state = _check_file(source, path, active)
-    return _finalise(state, (), warn_suppressions,
-                     {rule.rule_id for rule in active})
+    findings, _unused = _finalise(state, (), warn_suppressions,
+                                  {rule.rule_id for rule in active})
+    return findings
 
 
 def lint_paths(paths: Sequence[str],
@@ -210,13 +247,14 @@ def lint_paths(paths: Sequence[str],
 
     *select* / *ignore* narrow the rule set by id; *baseline*
     subtracts grandfathered findings (they are still reported, as
-    informational).  Unknown rule ids raise ValueError.
+    informational).  Unknown rule ids raise
+    :class:`UnknownRuleError` naming the valid families.
 
     Per-file rules run first, file by file; then the project rules
-    (SCH family) run once over every successfully parsed module.
-    Suppressions are applied *after* both passes, so a suppression
-    comment can silence a project finding and unused-suppression
-    accounting sees the complete picture.
+    (SCH and EFF families) run once over every successfully parsed
+    module.  Suppressions are applied *after* both passes, so a
+    suppression comment can silence a project finding and
+    unused-suppression accounting sees the complete picture.
     """
     file_rules, project_rules = _selected_rules(select, ignore)
     files = discover_files(paths)
@@ -230,17 +268,22 @@ def lint_paths(paths: Sequence[str],
     active = {rule.rule_id for rule in file_rules} \
         | {rule.rule_id for rule in project_rules}
     findings: List[Finding] = []
+    unused: List[Finding] = []
     for state in states:
-        findings.extend(_finalise(
+        state_findings, state_unused = _finalise(
             state, grouped.get(state.path, []), warn_suppressions,
-            active))
+            active)
+        findings.extend(state_findings)
+        unused.extend(state_unused)
     findings.sort(key=Finding.sort_key)
+    unused.sort(key=Finding.sort_key)
     grandfathered: List[Finding] = []
     if baseline is not None:
         findings, grandfathered = baseline.filter(findings)
     return LintResult(findings=findings,
                       grandfathered=grandfathered,
-                      files_checked=len(files))
+                      files_checked=len(files),
+                      unused_suppressions=unused)
 
 
 def count_by_rule(findings: Sequence[Finding]

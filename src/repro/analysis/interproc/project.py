@@ -7,6 +7,7 @@ from typing import Dict, List, Sequence, Set
 
 from repro.analysis.interproc.callgraph import CallGraph, build_call_graph
 from repro.analysis.interproc.dataflow import tainted_functions
+from repro.analysis.interproc.effects import EffectMap, infer_effects
 from repro.analysis.interproc.sites import (
     ScheduleSite,
     collect_schedule_sites,
@@ -37,6 +38,10 @@ class ProjectContext:
     #: "same run", which keeps scenarios that merely coexist in one
     #: process (a report runner executing both) from cross-pairing.
     caller_roots: Dict[str, Set[str]]
+    #: Per-function effect summaries and their transitive closure
+    #: (filesystem, SQL/transactions, RNG draws, raises) -- the
+    #: ground layer of the EFF rule family.
+    effects: EffectMap
 
 
 def build_project(contexts: Sequence[ModuleContext]) -> ProjectContext:
@@ -65,7 +70,8 @@ def build_project(contexts: Sequence[ModuleContext]) -> ProjectContext:
     return ProjectContext(
         contexts=list(ordered), symbols=symbols, callgraph=callgraph,
         sites=sites, taints=taints, reachable=reachable,
-        caller_roots=caller_roots)
+        caller_roots=caller_roots,
+        effects=infer_effects(symbols, callgraph))
 
 
 #: Direct callees that mark a function as the start of a run scope.

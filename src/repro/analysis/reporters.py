@@ -1,22 +1,41 @@
-"""Finding reporters: human text and canonical JSON.
+"""Finding reporters: human text, canonical JSON, and SARIF.
 
-Both renderers are pure functions of the :class:`LintResult`, emit
+All renderers are pure functions of the :class:`LintResult`, emit
 findings in the engine's deterministic order, and end with a
-newline, so reports are byte-stable and diffable (the JSON report is
-uploaded as a CI artifact; the text report is what developers read).
+newline, so reports are byte-stable and diffable (the JSON and SARIF
+reports are uploaded as CI artifacts; the text report is what
+developers read; the SARIF report is what GitHub renders as inline
+PR annotations).
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any, Dict
+from typing import Any, Dict, List
 
+from repro.analysis.effect_rules import all_effect_rules
 from repro.analysis.engine import LintResult, count_by_rule
+from repro.analysis.findings import Finding
 from repro.analysis.rules import all_rules
 from repro.analysis.schedule_rules import all_project_rules
 
 #: Bump when the JSON report layout changes.
-REPORT_FORMAT = 1
+#: v2: ``unused_suppressions`` section (file+line parity with the
+#: text reporter, so CI artifacts are actionable on their own).
+REPORT_FORMAT = 2
+
+#: The SARIF version GitHub code scanning consumes.
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/"
+                "sarif-spec/master/Schemata/sarif-schema-2.1.0.json")
+
+
+def _registered_rules() -> list:
+    """Every rule object, per-file then project, in id order."""
+    return sorted(
+        list(all_rules()) + list(all_project_rules())
+        + list(all_effect_rules()),
+        key=lambda rule: rule.rule_id)
 
 
 def render_text(result: LintResult) -> str:
@@ -48,6 +67,10 @@ def render_json(result: LintResult) -> str:
         "findings": [f.to_dict() for f in result.findings],
         "grandfathered": [f.to_dict()
                           for f in result.grandfathered],
+        "unused_suppressions": [
+            {"path": f.path, "line": f.line, "message": f.message}
+            for f in result.unused_suppressions
+        ],
         "summary": {
             "total": len(result.findings),
             "by_rule": dict(count_by_rule(result.findings)),
@@ -56,10 +79,67 @@ def render_json(result: LintResult) -> str:
     return json.dumps(payload, indent=2, sort_keys=True) + "\n"
 
 
+def _sarif_result(finding: Finding) -> Dict[str, Any]:
+    return {
+        "ruleId": finding.rule,
+        "level": "error",
+        "message": {"text": finding.message},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {
+                    "uri": finding.path,
+                    "uriBaseId": "%SRCROOT%",
+                },
+                "region": {
+                    "startLine": finding.line,
+                    "startColumn": finding.column,
+                },
+            },
+        }],
+        "partialFingerprints": {
+            "detlint/v1": finding.fingerprint(),
+        },
+    }
+
+
+def render_sarif(result: LintResult) -> str:
+    """The SARIF 2.1.0 report (GitHub inline PR annotations).
+
+    One run, one rule entry per registered rule (so annotations can
+    link to the catalogue text), one result per gating finding.
+    Grandfathered findings are deliberately omitted -- SARIF is the
+    gate's view, and the baseline already accepted them.
+    """
+    rules: List[Dict[str, Any]] = [
+        {
+            "id": rule.rule_id,
+            "name": rule.title or rule.rule_id,
+            "shortDescription": {"text": rule.title or rule.rule_id},
+            "fullDescription": {"text": rule.rationale or rule.title},
+            "defaultConfiguration": {"level": "error"},
+        }
+        for rule in _registered_rules()
+    ]
+    payload: Dict[str, Any] = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "detlint",
+                    "rules": rules,
+                },
+            },
+            "results": [_sarif_result(f) for f in result.findings],
+        }],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
 def render_rules_text() -> str:
     """The rule catalogue (``--list-rules``)."""
     lines = []
-    for rule in list(all_rules()) + list(all_project_rules()):
+    for rule in _registered_rules():
         lines.append(f"{rule.rule_id}  {rule.title}")
         for chunk in _wrap(rule.rationale, width=64):
             lines.append(f"        {chunk}")

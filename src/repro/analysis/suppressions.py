@@ -38,7 +38,7 @@ _SUPPRESS_RE = re.compile(
 #: would otherwise silently fail to suppress.
 _MENTION_RE = re.compile(r"#\s*detlint\b")
 
-_RULE_ID_RE = re.compile(r"^(?:DET|SCH)\d{3}$")
+_RULE_ID_RE = re.compile(r"^(?:DET|SCH|EFF)\d{3}$")
 
 #: Compound statements never define a suppression span: a comment
 #: inside an ``if`` body must not silence the whole block.
@@ -112,7 +112,7 @@ def parse_suppressions(
                 rule=META_RULE, path=path, line=lineno,
                 column=column + 1,
                 message=(f"invalid rule id(s) {bad or ['(none)']} in "
-                         f"suppression; expected DET or SCH "
+                         f"suppression; expected DET, SCH or EFF "
                          f"followed by three digits"),
                 snippet=snippet))
             continue

@@ -106,6 +106,8 @@ class ArtifactStore:
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
                 json.dump(envelope, handle)
+                handle.flush()
+                os.fsync(handle.fileno())
             os.replace(tmp_path, target)
         except BaseException:
             try:

@@ -81,6 +81,9 @@ class FleetTestbed:
             obs.bind(self.sim)
         self.frame = LocalFrame()
         self.medium = WirelessMedium(
+            # detlint: ignore[EFF006] -- pre-dates the fleet.* naming
+            # scheme; renaming would shift every seeded draw and break
+            # golden-trace bit-identity
             self.sim, self.streams.get("medium"),
             LinkBudget(path_loss=LogDistancePathLoss(
                 exponent=sc.path_loss_exponent)),
@@ -223,6 +226,9 @@ class FleetTestbed:
             if index < participants:
                 handler = MessageHandler(
                     self.sim, unit.http, self.members[index],
+                    # detlint: ignore[EFF006] -- pre-dates the fleet.*
+                    # naming scheme; the name feeds seeded draw
+                    # identity, so renaming breaks golden traces
                     rng=self.streams.get(f"handler.{index}"),
                     poll_interval=sc.poll_interval)
                 self.handlers.append(handler)

@@ -59,7 +59,10 @@ def _dump(document: Dict[str, Any], path: Optional[str]) -> None:
     text = json.dumps(document, indent=2, sort_keys=True,
                       default=repr)
     if path:
-        with open(path, "w", encoding="utf-8") as handle:
+        # A report for humans, not durable store state: a truncated
+        # dump is harmless because the command is re-runnable.
+        with open(path, "w",  # detlint: ignore[EFF001] -- report output, re-runnable, not store state
+                  encoding="utf-8") as handle:
             handle.write(text + "\n")
         print(f"wrote {path}", file=sys.stderr)
     else:

@@ -1,0 +1,15 @@
+"""EFF001 positive fixture: a plain write into durable state.
+
+``save_entry`` writes the store file in place: a crash between the
+``open`` and the final flush leaves a truncated entry under the name
+readers trust.
+"""
+
+import os
+
+
+def save_entry(root, key, text):
+    path = os.path.join(root, key + ".entry")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    return path

@@ -1,0 +1,19 @@
+"""EFF001 negative fixture: the atomic temp+rename write pattern.
+
+The write lands in a temp file, is fsynced, then renamed into place:
+readers only ever see the old entry or the complete new one.
+"""
+
+import os
+import tempfile
+
+
+def save_entry(root, key, text):
+    target = os.path.join(root, key + ".entry")
+    fd, tmp_path = tempfile.mkstemp(dir=root, suffix=".tmp")
+    with os.fdopen(fd, "w", encoding="utf-8") as handle:
+        handle.write(text)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp_path, target)
+    return target

@@ -1,0 +1,18 @@
+"""EFF002 positive fixture: rename into place without an fsync.
+
+The rename publishes the *name* atomically, but the freshly written
+bytes may still sit in the page cache: a power cut can leave a
+zero-length file under a valid store path.
+"""
+
+import os
+import tempfile
+
+
+def publish(root, name, text):
+    target = os.path.join(root, name)
+    fd, tmp_path = tempfile.mkstemp(dir=root, suffix=".tmp")
+    with os.fdopen(fd, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    os.replace(tmp_path, target)
+    return target

@@ -1,0 +1,19 @@
+"""EFF002 negative fixture: flush + fsync before the rename.
+
+The bytes are forced to disk before the name changes, so the rename
+can only ever publish a complete file.
+"""
+
+import os
+import tempfile
+
+
+def publish(root, name, text):
+    target = os.path.join(root, name)
+    fd, tmp_path = tempfile.mkstemp(dir=root, suffix=".tmp")
+    with os.fdopen(fd, "w", encoding="utf-8") as handle:
+        handle.write(text)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp_path, target)
+    return target

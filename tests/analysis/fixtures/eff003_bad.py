@@ -1,0 +1,28 @@
+"""EFF003 positive fixture: queue access outside a real transaction.
+
+``lease_next`` reads then writes the items table in autocommit, so a
+second worker can lease the same row between the SELECT and the
+UPDATE.  ``requeue`` wraps its write in a *deferred* BEGIN, which
+only takes the write lock at the UPDATE -- after the race already
+happened.
+"""
+
+
+def lease_next(db, owner):
+    row = db.execute(
+        "SELECT item_id FROM items WHERE state = 'ready' "
+        "ORDER BY item_id LIMIT 1").fetchone()
+    if row is None:
+        return None
+    db.execute(
+        "UPDATE items SET state = 'running', lease_owner = ? "
+        "WHERE item_id = ?", (owner, row[0]))
+    return row[0]
+
+
+def requeue(db, item_id):
+    db.execute("BEGIN")
+    db.execute(
+        "UPDATE items SET state = 'ready' WHERE item_id = ?",
+        (item_id,))
+    db.execute("COMMIT")

@@ -1,0 +1,26 @@
+"""EFF003 negative fixture: read-then-write under BEGIN IMMEDIATE.
+
+The immediate transaction takes the write lock before the SELECT, so
+no other worker can interleave between the read and the write.
+"""
+
+
+def lease_next(db, owner):
+    db.execute("BEGIN IMMEDIATE")
+    row = db.execute(
+        "SELECT item_id FROM items WHERE state = 'ready' "
+        "ORDER BY item_id LIMIT 1").fetchone()
+    if row is not None:
+        db.execute(
+            "UPDATE items SET state = 'running', lease_owner = ? "
+            "WHERE item_id = ?", (owner, row[0]))
+    db.execute("COMMIT")
+    return None if row is None else row[0]
+
+
+def requeue(db, item_id):
+    db.execute("BEGIN IMMEDIATE")
+    db.execute(
+        "UPDATE items SET state = 'ready' WHERE item_id = ?",
+        (item_id,))
+    db.execute("COMMIT")

@@ -1,0 +1,12 @@
+"""EFF004 positive fixture: lease-state UPDATE with no owner check.
+
+``complete`` matches on state alone: a worker whose lease expired
+(and whose item was re-leased to someone else) can still mark the
+item done, clobbering the new owner's lease.
+"""
+
+
+def complete(db, item_id):
+    db.execute(
+        "UPDATE items SET state = 'done' WHERE item_id = ? "
+        "AND state = 'leased'", (item_id,))

@@ -1,0 +1,12 @@
+"""EFF004 negative fixture: the UPDATE honours the current owner.
+
+Only the worker that still holds the lease can complete the item; an
+expired worker's UPDATE matches zero rows.
+"""
+
+
+def complete(db, item_id, owner):
+    db.execute(
+        "UPDATE items SET state = 'done' WHERE item_id = ? "
+        "AND state = 'leased' AND lease_owner = ?",
+        (item_id, owner))

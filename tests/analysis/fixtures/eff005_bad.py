@@ -1,0 +1,31 @@
+"""EFF005 positive fixture: campaign work inside an open transaction.
+
+``run_item`` holds the queue's write lock across ``persist`` (which
+writes the result to disk): every other worker's lease/heartbeat/
+complete blocks for the duration of the work.
+"""
+
+import os
+import tempfile
+
+
+def persist(path, text):
+    directory = os.path.dirname(path)
+    fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    with os.fdopen(fd, "w", encoding="utf-8") as handle:
+        handle.write(text)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp_path, path)
+
+
+def run_item(db, path):
+    db.execute("BEGIN IMMEDIATE")
+    row = db.execute(
+        "SELECT item_id FROM items WHERE state = 'ready' "
+        "LIMIT 1").fetchone()
+    persist(path, "result")
+    db.execute(
+        "UPDATE items SET state = 'done' WHERE item_id = ?",
+        (row[0],))
+    db.execute("COMMIT")

@@ -1,0 +1,30 @@
+"""EFF005 negative fixture: commit first, then do the work.
+
+The transaction covers only the queue-state change; the expensive
+result write happens after COMMIT, with the lock released.
+"""
+
+import os
+import tempfile
+
+
+def persist(path, text):
+    directory = os.path.dirname(path)
+    fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    with os.fdopen(fd, "w", encoding="utf-8") as handle:
+        handle.write(text)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp_path, path)
+
+
+def run_item(db, path):
+    db.execute("BEGIN IMMEDIATE")
+    row = db.execute(
+        "SELECT item_id FROM items WHERE state = 'ready' "
+        "LIMIT 1").fetchone()
+    db.execute(
+        "UPDATE items SET state = 'done' WHERE item_id = ?",
+        (row[0],))
+    db.execute("COMMIT")
+    persist(path, "result")

@@ -1,0 +1,26 @@
+"""EFF006 positive fixture: draws not pinned to a named substream.
+
+Three shapes: a substream name outside every family prefix, a draw
+on an ad-hoc generator built in place, and an ad-hoc generator
+handed into a helper that draws from its parameter.
+"""
+
+import numpy
+
+
+def build_medium(streams):
+    return streams.get("medium")
+
+
+def local_noise():
+    rng = numpy.random.default_rng(7)
+    return rng.normal()
+
+
+def jitter(value, rng):
+    return value + rng.normal()
+
+
+def sample_point():
+    gen = numpy.random.default_rng(11)
+    return jitter(1.0, gen)

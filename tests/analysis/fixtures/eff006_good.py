@@ -1,0 +1,24 @@
+"""EFF006 negative fixture: every draw traces to a named substream.
+
+Family-scoped names (literal, folded through a local, or passed down
+into a helper) pin each draw's identity to its substream name.
+"""
+
+
+def build_medium(streams):
+    return streams.get("fleet.medium")
+
+
+def offsets(streams):
+    scope = "vary.lhs."
+    rng = streams.get(scope + "offsets")
+    return rng.normal()
+
+
+def jitter(value, rng):
+    return value + rng.normal()
+
+
+def sample_point(streams):
+    gen = streams.get("faults.drop")
+    return jitter(1.0, gen)

@@ -1,0 +1,18 @@
+"""EFF007 positive fixture: frozen spec mutated after construction.
+
+``retune`` rewrites a frozen dataclass in place: any fingerprint or
+cache key taken earlier silently stops describing the instance.
+"""
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class Spec:
+    name: str
+    seed: int
+
+
+def retune(spec, seed):
+    object.__setattr__(spec, "seed", seed)
+    return spec

@@ -1,0 +1,22 @@
+"""EFF007 negative fixture: construction-time writes and replace.
+
+``object.__setattr__`` is legal inside ``__post_init__`` (the frozen
+dataclass idiom); later changes build a new instance instead.
+"""
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class Spec:
+    name: str
+    seed: int
+    label: str = ""
+
+    def __post_init__(self):
+        if not self.label:
+            object.__setattr__(self, "label", self.name)
+
+
+def retune(spec, seed):
+    return dataclasses.replace(spec, seed=seed)

@@ -1,0 +1,33 @@
+"""EFF008 positive fixture: broad excepts that swallow dead letters.
+
+``fold`` hides a ``DeadLetterError`` raised two frames below its
+``except Exception``; ``drain`` swallows one it raises itself.  Both
+convert a loud, correct failure into a silently incomplete result.
+"""
+
+
+class DeadLetterError(RuntimeError):
+    """Raised when an item exhausts its retry budget."""
+
+
+def check(item):
+    if item["attempts"] > 3:
+        raise DeadLetterError(item["item_id"])
+    return item
+
+
+def fold(items):
+    try:
+        return [check(item) for item in items]
+    except Exception:
+        return []
+
+
+def drain(items):
+    try:
+        for item in items:
+            if item is None:
+                raise DeadLetterError("missing item")
+    except Exception:
+        pass
+    return items

@@ -1,0 +1,35 @@
+"""EFF008 negative fixture: dead letters surface.
+
+``fold`` lets ``DeadLetterError`` propagate and only absorbs the
+classes it can actually handle; ``drain`` catches broadly but
+re-raises, so nothing is swallowed.
+"""
+
+
+class DeadLetterError(RuntimeError):
+    """Raised when an item exhausts its retry budget."""
+
+
+def check(item):
+    if item["attempts"] > 3:
+        raise DeadLetterError(item["item_id"])
+    return item
+
+
+def fold(items):
+    try:
+        return [check(item) for item in items]
+    except DeadLetterError:
+        raise
+    except ValueError:
+        return []
+
+
+def drain(items):
+    try:
+        for item in items:
+            if item is None:
+                raise DeadLetterError("missing item")
+    except Exception:
+        raise
+    return items

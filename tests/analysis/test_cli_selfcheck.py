@@ -7,8 +7,6 @@ import os
 import subprocess
 import sys
 
-import pytest
-
 from repro.analysis.cli import main as detlint_main
 from repro.analysis.engine import lint_paths
 from repro.cli import main as repro_main
@@ -43,8 +41,9 @@ class TestDetlintCli:
         assert detlint_main([bad, "--output", str(artifact)]) == 1
         capsys.readouterr()
         payload = json.loads(artifact.read_text())
-        assert payload["format"] == 1
+        assert payload["format"] == 2
         assert payload["summary"]["total"] == 1
+        assert payload["unused_suppressions"] == []
 
     def test_select_flag(self, capsys):
         assert detlint_main([FIXTURES, "--select", "DET004"]) == 1
@@ -52,15 +51,87 @@ class TestDetlintCli:
         assert "DET004" in out
         assert "DET001" not in out
 
-    def test_unknown_rule_is_usage_error(self):
-        with pytest.raises(SystemExit):
-            detlint_main([FIXTURES, "--select", "DET42"])
+    def test_unknown_rule_is_usage_error(self, capsys):
+        assert detlint_main([FIXTURES, "--select", "DET42"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown rule id(s): DET42" in err
+        # The error must teach the valid families, not just reject.
+        assert "DET001..DET008" in err
+        assert "SCH001..SCH003" in err
+        assert "EFF001..EFF008" in err
+
+    def test_unknown_ignore_rule_is_usage_error(self, capsys):
+        assert detlint_main([FIXTURES, "--ignore", "EFF999"]) == 2
+        assert "EFF999" in capsys.readouterr().err
 
     def test_list_rules(self, capsys):
         assert detlint_main(["--list-rules"]) == 0
         out = capsys.readouterr().out
         for index in range(1, 9):
             assert f"DET00{index}" in out
+
+
+class TestExitCodeMatrix:
+    """0 clean / 1 findings / 2 usage errors, across all families."""
+
+    CLEAN = ("det001_good.py", "sch001_good.py", "eff003_good.py")
+    DIRTY = {"det006_bad.py": "DET006",
+             "sch001_bad.py": "SCH001",
+             "eff004_bad.py": "EFF004"}
+
+    def test_clean_fixture_from_each_family_exits_zero(self, capsys):
+        for name in self.CLEAN:
+            assert detlint_main([os.path.join(FIXTURES, name)]) == 0
+            capsys.readouterr()
+
+    def test_findings_from_each_family_exit_one(self, capsys):
+        for name, rule in self.DIRTY.items():
+            assert detlint_main([os.path.join(FIXTURES, name)]) == 1
+            assert rule in capsys.readouterr().out
+
+    def test_usage_errors_exit_two_for_each_family_typo(self, capsys):
+        for bogus in ("DET042", "SCH999", "EFF000x"):
+            assert detlint_main(
+                [FIXTURES, "--select", bogus]) == 2
+            capsys.readouterr()
+
+
+class TestMultiFamilyBaseline:
+    def test_baseline_round_trip_grandfathers_all_families(
+            self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        assert detlint_main(
+            [FIXTURES, "--write-baseline", str(baseline)]) == 0
+        capsys.readouterr()
+        assert detlint_main(
+            [FIXTURES, "--baseline", str(baseline),
+             "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["findings"] == []
+        grandfathered = {f["rule"][:3]
+                         for f in payload["grandfathered"]}
+        assert {"DET", "SCH", "EFF"} <= grandfathered
+
+
+class TestUnusedSuppressionArtifact:
+    def test_json_reports_unused_suppressions_with_file_and_line(
+            self, tmp_path, capsys):
+        target = tmp_path / "stale.py"
+        target.write_text(
+            "import numpy\n"
+            "\n"
+            "\n"
+            "def noise(rng):\n"
+            "    # detlint: ignore[EFF006] -- stale escape\n"
+            "    return rng.normal()\n")
+        assert detlint_main([str(target), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        (entry,) = payload["unused_suppressions"]
+        assert entry["path"].endswith("stale.py")
+        assert entry["line"] == 5
+        assert "unused suppression for EFF006" in entry["message"]
+        # The stale escape also gates as a DET000 finding.
+        assert payload["summary"]["by_rule"] == {"DET000": 1}
 
 
 class TestReproTestbedLint:

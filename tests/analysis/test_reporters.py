@@ -59,7 +59,7 @@ GOLDEN_JSON = """\
       "snippet": "def to_dict(self):"
     }
   ],
-  "format": 1,
+  "format": 2,
   "grandfathered": [],
   "summary": {
     "by_rule": {
@@ -67,7 +67,8 @@ GOLDEN_JSON = """\
       "DET006": 1
     },
     "total": 2
-  }
+  },
+  "unused_suppressions": []
 }
 """
 
