@@ -9,8 +9,9 @@ test:
 	pytest tests/ -q
 
 # The determinism linter gates on a clean tree (exit 1 on findings,
-# 2 on usage errors) and runs all three rule families: DET001..DET008,
-# SCH001..SCH003 and EFF001..EFF008.  ruff/mypy also gate when
+# 2 on usage errors) and runs all four rule families: DET001..DET008,
+# SCH001..SCH003, EFF001..EFF008 and FPR001..FPR008.  ruff/mypy also
+# gate when
 # installed, and are skipped when absent so the target works in a
 # bare checkout (detlint itself needs no deps).
 lint:

@@ -15,11 +15,15 @@ Entry points:
 * ``tools/detlint src/`` (standalone script, same engine);
 * :func:`lint_paths` (library API).
 
-Three rule families share one engine: the per-file determinism
-rules (DET001..DET008, ARCHITECTURE.md §10), the interprocedural
-schedule-race rules (SCH001..SCH003, §11) and the effect-discipline
+Four rule families share one engine (and one registry,
+:mod:`repro.analysis.registry`): the per-file determinism rules
+(DET001..DET008, ARCHITECTURE.md §10), the interprocedural
+schedule-race rules (SCH001..SCH003, §11), the effect-discipline
 rules (EFF001..EFF008, §15) that check durable I/O, queue
-transactions and RNG substream naming.  Per-statement suppressions
+transactions and RNG substream naming, and the fingerprint- and
+serialization-discipline rules (FPR001..FPR008, §16) that prove
+every config field reaches its fingerprint and survives the
+``to_dict``/``from_dict`` round trip.  Per-statement suppressions
 use ``# detlint: ignore[DET00x] -- reason``.
 """
 
@@ -36,6 +40,16 @@ from repro.analysis.engine import (
     lint_paths,
 )
 from repro.analysis.findings import Finding
+from repro.analysis.fingerprint_rules import (
+    all_fingerprint_rules,
+    fingerprint_rule_ids,
+)
+from repro.analysis.registry import (
+    RuleFamily,
+    registered_rule_ids,
+    registered_rules,
+    rule_families,
+)
 from repro.analysis.reporters import (
     render_json,
     render_sarif,
@@ -48,13 +62,19 @@ __all__ = [
     "Finding",
     "LintResult",
     "Rule",
+    "RuleFamily",
     "UnknownRuleError",
     "all_effect_rules",
+    "all_fingerprint_rules",
     "all_rules",
     "effect_rule_ids",
+    "fingerprint_rule_ids",
     "lint_paths",
+    "registered_rule_ids",
+    "registered_rules",
     "render_json",
     "render_sarif",
     "render_text",
+    "rule_families",
     "rule_ids",
 ]

@@ -77,7 +77,7 @@ class Baseline:
             raise ValueError(
                 f"unsupported baseline format "
                 f"{data.get('format')!r}; expected {BASELINE_FORMAT}")
-        return cls(dict(data.get("entries", {})))
+        return cls(dict(data["entries"]))
 
     @classmethod
     def load(cls, path: str) -> "Baseline":

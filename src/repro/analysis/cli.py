@@ -18,6 +18,7 @@ from typing import List, Optional
 
 from repro.analysis.baseline import Baseline
 from repro.analysis.engine import UnknownRuleError, lint_paths
+from repro.analysis.registry import family_summary
 from repro.analysis.reporters import (
     render_json,
     render_rules_text,
@@ -124,10 +125,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     """Standalone entry point (``tools/detlint``)."""
     parser = argparse.ArgumentParser(
         prog="detlint",
-        description="AST determinism linter for the repro testbed "
-                    "(per-file rules DET001..DET008, project rules "
-                    "SCH001..SCH003 and EFF001..EFF008; see "
-                    "ARCHITECTURE.md §10-§11, §15)")
+        description=f"AST determinism linter for the repro testbed "
+                    f"({family_summary()}; see ARCHITECTURE.md "
+                    f"§10-§11, §15-§16)")
     add_arguments(parser)
     return run(parser.parse_args(argv))
 

@@ -4,8 +4,8 @@
 ``tools/detlint`` script and the test suite.  It walks the given
 files/directories in sorted order, parses each Python file once,
 runs every selected per-file rule over the shared
-:class:`ModuleContext`, then runs the *project* rules (the SCH and
-EFF families) once over all parsed modules together, and finally filters
+:class:`ModuleContext`, then runs the *project* rules (the SCH, EFF
+and FPR families) once over all parsed modules together, and finally filters
 everything through statement-level suppressions and the optional
 baseline.  The result is fully deterministic: findings are sorted by
 (path, line, column, rule) and paths are normalised to forward
@@ -21,20 +21,23 @@ import os
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.analysis.baseline import Baseline
-from repro.analysis.effect_rules import all_effect_rules
 from repro.analysis.findings import Finding
+from repro.analysis.registry import (
+    expand_selection,
+    family_summary,
+    registered_project_rules,
+    registered_rule_ids,
+    rule_families,
+)
 from repro.analysis.rules import (
     ModuleContext,
     Rule,
     all_rules,
     build_context,
-    rule_ids,
 )
 from repro.analysis.schedule_rules import (
     ProjectRule,
-    all_project_rules,
     check_project_rules,
-    project_rule_ids,
 )
 from repro.analysis.suppressions import (
     META_RULE,
@@ -45,12 +48,10 @@ from repro.analysis.suppressions import (
 
 
 #: The rule families, for error messages and reports.  One line per
-#: family: (id range, one-phrase subject).
-RULE_FAMILIES: Tuple[Tuple[str, str], ...] = (
-    ("DET001..DET008", "per-file determinism"),
-    ("SCH001..SCH003", "schedule races"),
-    ("EFF001..EFF008", "effect discipline"),
-)
+#: family: (id range, one-phrase subject).  Generated from the
+#: single registry (:mod:`repro.analysis.registry`).
+RULE_FAMILIES: Tuple[Tuple[str, str], ...] = tuple(
+    (family.span, family.subject) for family in rule_families())
 
 
 class UnknownRuleError(ValueError):
@@ -141,20 +142,21 @@ def _selected_rules(
         select: Optional[Iterable[str]],
         ignore: Optional[Iterable[str]],
 ) -> Tuple[List[Rule], List[ProjectRule]]:
-    """(per-file rules, project rules) matching select/ignore."""
-    registered_project = list(all_project_rules()) \
-        + list(all_effect_rules())
-    known = set(rule_ids()) \
-        | {rule.rule_id for rule in registered_project}
-    chosen = set(select) if select else set(known)
-    dropped = set(ignore) if ignore else set()
+    """(per-file rules, project rules) matching select/ignore.
+
+    A bare family prefix ("FPR") in either list expands to every
+    rule of that family; unknown ids raise with the registry's
+    family summary.
+    """
+    registered_project = registered_project_rules()
+    known = set(registered_rule_ids())
+    chosen = expand_selection(list(select)) if select else set(known)
+    dropped = expand_selection(list(ignore)) if ignore else set()
     unknown = sorted((chosen | dropped) - known - {META_RULE})
     if unknown:
-        families = ", ".join(f"{ids} ({subject})"
-                             for ids, subject in RULE_FAMILIES)
         raise UnknownRuleError(
             f"unknown rule id(s): {', '.join(unknown)}; valid "
-            f"families are {families}")
+            f"families are {family_summary()}")
     wanted = chosen - dropped
     file_rules = [rule for rule in all_rules()
                   if rule.rule_id in wanted]
@@ -251,8 +253,8 @@ def lint_paths(paths: Sequence[str],
     :class:`UnknownRuleError` naming the valid families.
 
     Per-file rules run first, file by file; then the project rules
-    (SCH and EFF families) run once over every successfully parsed
-    module.  Suppressions are applied *after* both passes, so a
+    (SCH, EFF and FPR families) run once over every successfully
+    parsed module.  Suppressions are applied *after* both passes, so a
     suppression comment can silence a project finding and
     unused-suppression accounting sees the complete picture.
     """

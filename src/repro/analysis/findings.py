@@ -49,7 +49,7 @@ class Finding:
         }
 
     @classmethod
-    def from_dict(cls, data: Dict[str, Any]) -> "Finding":
+    def from_dict(cls, data: Dict[str, Any]) -> "Finding":  # detlint: ignore[FPR002] -- 'fingerprint' is derived (sha256 of rule|path|snippet) and recomputed on demand; reading it back would let a stale digest shadow the content it no longer matches
         """Rebuild a finding serialised by :meth:`to_dict`."""
         return cls(
             rule=str(data["rule"]),
@@ -57,5 +57,5 @@ class Finding:
             line=int(data["line"]),
             column=int(data["column"]),
             message=str(data["message"]),
-            snippet=str(data.get("snippet", "")),
+            snippet=str(data["snippet"]),
         )

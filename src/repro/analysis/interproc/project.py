@@ -8,6 +8,10 @@ from typing import Dict, List, Sequence, Set
 from repro.analysis.interproc.callgraph import CallGraph, build_call_graph
 from repro.analysis.interproc.dataflow import tainted_functions
 from repro.analysis.interproc.effects import EffectMap, infer_effects
+from repro.analysis.interproc.serialization import (
+    SerializationMap,
+    build_serialization_map,
+)
 from repro.analysis.interproc.sites import (
     ScheduleSite,
     collect_schedule_sites,
@@ -42,6 +46,10 @@ class ProjectContext:
     #: (filesystem, SQL/transactions, RNG draws, raises) -- the
     #: ground layer of the EFF rule family.
     effects: EffectMap
+    #: Dataclass fields -> to_dict/from_dict keys -> fingerprint
+    #: inputs -> named-substream sites -- the ground layer of the
+    #: FPR rule family.
+    serialization: SerializationMap
 
 
 def build_project(contexts: Sequence[ModuleContext]) -> ProjectContext:
@@ -71,7 +79,8 @@ def build_project(contexts: Sequence[ModuleContext]) -> ProjectContext:
         contexts=list(ordered), symbols=symbols, callgraph=callgraph,
         sites=sites, taints=taints, reachable=reachable,
         caller_roots=caller_roots,
-        effects=infer_effects(symbols, callgraph))
+        effects=infer_effects(symbols, callgraph),
+        serialization=build_serialization_map(symbols))
 
 
 #: Direct callees that mark a function as the start of a run scope.

@@ -13,11 +13,9 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, List
 
-from repro.analysis.effect_rules import all_effect_rules
 from repro.analysis.engine import LintResult, count_by_rule
 from repro.analysis.findings import Finding
-from repro.analysis.rules import all_rules
-from repro.analysis.schedule_rules import all_project_rules
+from repro.analysis.registry import registered_rules
 
 #: Bump when the JSON report layout changes.
 #: v2: ``unused_suppressions`` section (file+line parity with the
@@ -31,11 +29,8 @@ SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/"
 
 
 def _registered_rules() -> list:
-    """Every rule object, per-file then project, in id order."""
-    return sorted(
-        list(all_rules()) + list(all_project_rules())
-        + list(all_effect_rules()),
-        key=lambda rule: rule.rule_id)
+    """Every registered rule object, in id order (the registry)."""
+    return registered_rules()
 
 
 def render_text(result: LintResult) -> str:

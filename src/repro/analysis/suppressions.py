@@ -24,6 +24,7 @@ import tokenize
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.analysis.findings import Finding
+from repro.analysis.registry import FAMILY_PREFIXES
 
 #: The meta-rule id for malformed or unused suppressions.
 META_RULE = "DET000"
@@ -38,7 +39,14 @@ _SUPPRESS_RE = re.compile(
 #: would otherwise silently fail to suppress.
 _MENTION_RE = re.compile(r"#\s*detlint\b")
 
-_RULE_ID_RE = re.compile(r"^(?:DET|SCH|EFF)\d{3}$")
+#: Accepts exactly the registered family prefixes (DET/SCH/EFF/FPR),
+#: sourced from :mod:`repro.analysis.registry`.
+_RULE_ID_RE = re.compile(
+    r"^(?:" + "|".join(FAMILY_PREFIXES) + r")\d{3}$")
+
+#: "DET, SCH, EFF or FPR" for the malformed-suppression message.
+_PREFIX_PHRASE = ", ".join(FAMILY_PREFIXES[:-1]) + \
+    " or " + FAMILY_PREFIXES[-1]
 
 #: Compound statements never define a suppression span: a comment
 #: inside an ``if`` body must not silence the whole block.
@@ -112,7 +120,7 @@ def parse_suppressions(
                 rule=META_RULE, path=path, line=lineno,
                 column=column + 1,
                 message=(f"invalid rule id(s) {bad or ['(none)']} in "
-                         f"suppression; expected DET, SCH or EFF "
+                         f"suppression; expected {_PREFIX_PHRASE} "
                          f"followed by three digits"),
                 snippet=snippet))
             continue

@@ -515,8 +515,8 @@ def cmd_fleet(args: argparse.Namespace) -> int:
             json.dump(payload, handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"wrote {args.json}")
-    all_delivered = all(campaign.delivered_fraction() > 0.0
-                        for campaign in campaigns.values())
+    all_delivered = all(campaigns[n].delivered_fraction() > 0.0
+                        for n in sorted(campaigns))
     return 0 if all_delivered else 1
 
 

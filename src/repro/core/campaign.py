@@ -79,6 +79,7 @@ def scenario_fingerprint(scenario: EmergencyBrakeScenario,
     if fault_plan is not None and not fault_plan.is_empty:
         plan_dict = fault_plan.to_dict()
     return spec_fingerprint("scenario", CACHE_FORMAT, {
+        # detlint: ignore[FPR004] -- tie_break is deliberately cache-separating: policies are proven bit-identical by the tie-audit, but cached entries must never mix policies (ARCHITECTURE.md §11)
         "scenario": dataclasses.asdict(scenario),
         "fault_plan": plan_dict,
         "salt": salt,

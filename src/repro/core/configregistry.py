@@ -1,0 +1,297 @@
+"""The frozen-config catalogue behind the fingerprint battery.
+
+The FPR rules prove the serialization discipline *statically*; this
+registry is the hook for proving it *dynamically*.  Every frozen
+config that feeds a cache fingerprint registers here with its
+canonical serialize/deserialize pair, its fingerprint function and a
+worked example, and ``tests/test_fingerprint_battery.py`` then
+proves, for each one:
+
+* the JSON-text round trip is exact (``deserialize(json.loads(
+  json.dumps(serialize(x)))) == x``), and
+* perturbing any single field changes both the serialized payload
+  and the fingerprint -- or the field carries a written exemption
+  saying why it legitimately cannot.
+
+A config class added without a registry entry is caught by the
+battery's coverage test; a field added without surviving the round
+trip or reaching the fingerprint is caught by the per-field sweep.
+That is the runtime cross-check of FPR001-FPR004.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Any, Callable, Dict, Mapping, Tuple
+
+from repro.core.campaign import scenario_fingerprint
+from repro.core.fleet.scenario import FleetScenario, fleet_fingerprint
+from repro.core.scenario import EmergencyBrakeScenario, scenario_from_dict
+from repro.faults.plan import CameraBlackout, FaultPlan
+from repro.vary.space import (
+    BooleanAxis,
+    CategoricalAxis,
+    Constraint,
+    ContinuousAxis,
+    IntAxis,
+    VariationSpec,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class RegisteredConfig:
+    """One frozen config's battery contract."""
+
+    #: Catalogue key ("fleet-scenario"); one class may register
+    #: several examples (the two constraint shapes do).
+    name: str
+    cls: type
+    #: A representative, valid instance.
+    example: Any
+    #: Canonical instance -> JSON-serialisable payload.
+    serialize: Callable[[Any], Dict[str, Any]]
+    #: The strict inverse (raises on unknown/missing keys).
+    deserialize: Callable[[Dict[str, Any]], Any]
+    #: Instance -> stable cache key (spec_fingerprint or a wrapper).
+    fingerprint: Callable[[Any], str]
+    #: field -> replacement value, for fields whose generic
+    #: perturbation would be invalid (validated enums, Optionals).
+    alternatives: Mapping[str, Any] = dataclasses.field(
+        default_factory=dict)
+    #: field -> reason it cannot be perturbed *independently*
+    #: (mutually exclusive field pairs); the paired example covers it.
+    skip_fields: Mapping[str, str] = dataclasses.field(
+        default_factory=dict)
+    #: field -> reason its perturbation legitimately does NOT move
+    #: the fingerprint.  Empty means every field must perturb it.
+    fingerprint_exempt: Mapping[str, str] = dataclasses.field(
+        default_factory=dict)
+
+    def field_names(self) -> Tuple[str, ...]:
+        """The example's dataclass field names, declaration order."""
+        return tuple(field.name for field in
+                     dataclasses.fields(self.cls))
+
+    def perturbable_fields(self) -> Tuple[str, ...]:
+        """Fields the battery must perturb one at a time."""
+        return tuple(name for name in self.field_names()
+                     if name not in self.skip_fields)
+
+    def perturbed(self, field_name: str) -> Any:
+        """The example with exactly *field_name* changed (valid)."""
+        if field_name in self.alternatives:
+            value = self.alternatives[field_name]
+        else:
+            value = perturb_value(getattr(self.example, field_name))
+        return dataclasses.replace(self.example,
+                                   **{field_name: value})
+
+
+def perturb_value(value: Any) -> Any:
+    """A generically different-but-same-shaped value.
+
+    Deterministic and type-driven; fields whose domain is narrower
+    than their type (validated enums, coupled pairs) register an
+    explicit alternative instead.
+    """
+    if isinstance(value, bool):
+        return not value
+    if isinstance(value, int):
+        return value + 1
+    if isinstance(value, float):
+        return value + 1.0 if math.isfinite(value) else 1.0
+    if isinstance(value, str):
+        return value + "-alt"
+    if isinstance(value, tuple):
+        if not value:
+            raise ValueError(
+                "cannot generically perturb an empty tuple; "
+                "register an alternative")
+        return value + (value[-1],)
+    if isinstance(value, dict):
+        return {**value, "zz_alt": 1}
+    if dataclasses.is_dataclass(value):
+        first = dataclasses.fields(value)[0].name
+        return dataclasses.replace(
+            value, **{first: perturb_value(getattr(value, first))})
+    raise ValueError(
+        f"no generic perturbation for {type(value).__name__}; "
+        f"register an alternative")
+
+
+# ---------------------------------------------------------------------------
+# Fingerprint adapters for configs keyed through a wrapper
+# ---------------------------------------------------------------------------
+
+
+def _plan_fingerprint(plan: FaultPlan) -> str:
+    """A fault plan is keyed through the scenario it perturbs."""
+    return scenario_fingerprint(EmergencyBrakeScenario(), plan)
+
+
+_PROBE_AXES = (ContinuousAxis("speed", 0.1, 9.0),
+               ContinuousAxis("gain", 0.1, 9.0))
+
+
+def _axis_fingerprint(axis: Any) -> str:
+    """An axis is keyed through the spec that carries it."""
+    return VariationSpec(name="probe", family="emergency_brake",
+                         axes=(axis,)).fingerprint()
+
+
+def _constraint_fingerprint(constraint: Constraint) -> str:
+    """A constraint is keyed through the spec that carries it."""
+    return VariationSpec(name="probe", family="emergency_brake",
+                         axes=_PROBE_AXES,
+                         constraints=(constraint,)).fingerprint()
+
+
+# ---------------------------------------------------------------------------
+# The catalogue
+# ---------------------------------------------------------------------------
+
+
+def registered_configs() -> Tuple[RegisteredConfig, ...]:
+    """Every registered frozen config, in catalogue order."""
+    return (
+        RegisteredConfig(
+            name="brake-scenario",
+            cls=EmergencyBrakeScenario,
+            example=EmergencyBrakeScenario(),
+            serialize=dataclasses.asdict,
+            deserialize=scenario_from_dict,
+            fingerprint=scenario_fingerprint,
+            alternatives={
+                "radio": "5g",
+                "hazard_mode": "ldm",
+                "tie_break": "lifo",
+                "denm_repetition_interval": 0.2,
+            },
+        ),
+        RegisteredConfig(
+            name="fleet-scenario",
+            cls=FleetScenario,
+            example=FleetScenario(),
+            serialize=FleetScenario.to_dict,
+            deserialize=FleetScenario.from_dict,
+            fingerprint=fleet_fingerprint,
+            alternatives={
+                "workload": "convoy",
+                "tie_break": "lifo",
+            },
+        ),
+        RegisteredConfig(
+            name="fault-plan",
+            cls=FaultPlan,
+            example=FaultPlan(
+                name="demo",
+                faults=(CameraBlackout(start=1.0, duration=0.5),)),
+            serialize=FaultPlan.to_dict,
+            deserialize=FaultPlan.from_dict,
+            fingerprint=_plan_fingerprint,
+        ),
+        RegisteredConfig(
+            name="variation-spec",
+            cls=VariationSpec,
+            example=VariationSpec(
+                name="demo",
+                family="emergency_brake",
+                axes=(ContinuousAxis("obu_poll_interval",
+                                     0.01, 0.1),),
+                constraints=(Constraint(lhs="obu_poll_interval",
+                                        op="<", rhs_value=0.2),),
+                base={"assessment_delay": 0.02},
+                coverage_bins=4),
+            serialize=VariationSpec.to_dict,
+            deserialize=VariationSpec.from_dict,
+            fingerprint=VariationSpec.fingerprint,
+            alternatives={
+                "family": "fleet",
+                "axes": (ContinuousAxis("obu_poll_interval",
+                                        0.01, 0.2),),
+            },
+        ),
+        RegisteredConfig(
+            name="continuous-axis",
+            cls=ContinuousAxis,
+            example=ContinuousAxis("speed", 0.5, 2.0),
+            serialize=ContinuousAxis.to_dict,
+            deserialize=ContinuousAxis.from_dict,
+            fingerprint=_axis_fingerprint,
+        ),
+        RegisteredConfig(
+            name="int-axis",
+            cls=IntAxis,
+            example=IntAxis("n_obus", 4, 32),
+            serialize=IntAxis.to_dict,
+            deserialize=IntAxis.from_dict,
+            fingerprint=_axis_fingerprint,
+        ),
+        RegisteredConfig(
+            name="categorical-axis",
+            cls=CategoricalAxis,
+            example=CategoricalAxis("workload",
+                                    ("beacon", "convoy")),
+            serialize=CategoricalAxis.to_dict,
+            deserialize=CategoricalAxis.from_dict,
+            fingerprint=_axis_fingerprint,
+            alternatives={
+                "choices": ("beacon", "blind_corner"),
+            },
+        ),
+        RegisteredConfig(
+            name="boolean-axis",
+            cls=BooleanAxis,
+            example=BooleanAxis("dcc_enabled"),
+            serialize=BooleanAxis.to_dict,
+            deserialize=BooleanAxis.from_dict,
+            fingerprint=_axis_fingerprint,
+        ),
+        RegisteredConfig(
+            name="constraint-literal",
+            cls=Constraint,
+            example=Constraint(lhs="speed", op="<", rhs_value=3.0),
+            serialize=Constraint.to_dict,
+            deserialize=Constraint.from_dict,
+            fingerprint=_constraint_fingerprint,
+            alternatives={"lhs": "gain", "op": "<="},
+            skip_fields={
+                "rhs_axis": "mutually exclusive with rhs_value; "
+                            "the constraint-axis example perturbs "
+                            "it",
+            },
+        ),
+        RegisteredConfig(
+            name="constraint-axis",
+            cls=Constraint,
+            example=Constraint(lhs="speed", op="<=",
+                               rhs_axis="gain"),
+            serialize=Constraint.to_dict,
+            deserialize=Constraint.from_dict,
+            fingerprint=_constraint_fingerprint,
+            alternatives={"lhs": "gain", "op": "<",
+                          "rhs_axis": "speed"},
+            skip_fields={
+                "rhs_value": "mutually exclusive with rhs_axis; "
+                             "the constraint-literal example "
+                             "perturbs it",
+            },
+        ),
+    )
+
+
+def registered_config(name: str) -> RegisteredConfig:
+    """The catalogue entry called *name* (raises KeyError)."""
+    for entry in registered_configs():
+        if entry.name == name:
+            return entry
+    raise KeyError(name)
+
+
+__all__ = [
+    "RegisteredConfig",
+    "perturb_value",
+    "registered_config",
+    "registered_configs",
+]

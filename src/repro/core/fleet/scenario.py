@@ -100,6 +100,14 @@ class FleetScenario:
     tie_break: str = "fifo"
 
     def __post_init__(self) -> None:
+        # Accept any sequence of thresholds, store canonically as a
+        # tuple: a list-valued field (a JSON round-trip's natural
+        # output) would break ==/hash against the constructed form
+        # while fingerprinting identically -- the worst kind of
+        # almost-equal.
+        if not isinstance(self.dcc_thresholds, tuple):
+            object.__setattr__(self, "dcc_thresholds",
+                               tuple(self.dcc_thresholds))
         if self.n_obus < 1:
             raise ValueError(f"n_obus must be >= 1, got {self.n_obus}")
         if self.n_rsus < 1:
@@ -124,6 +132,41 @@ class FleetScenario:
         """Copy with a different seed."""
         return dataclasses.replace(self, seed=seed)
 
+    def to_dict(self) -> "dict":
+        """Canonical JSON-serialisable form (every field, always).
+
+        Delegates to :func:`dataclasses.asdict` so a new field can
+        never be forgotten; the threshold tuple is emitted as a list
+        so ``to_dict(x) == json.loads(json.dumps(to_dict(x)))``
+        holds exactly.
+        """
+        data = dataclasses.asdict(self)
+        data["dcc_thresholds"] = list(data["dcc_thresholds"])
+        return data
+
+    @classmethod
+    def from_dict(cls, data: "dict") -> "FleetScenario":
+        """Rebuild a scenario serialised by :meth:`to_dict`.
+
+        Strict by design: every field is required and unknown keys
+        are rejected, so a payload from a build with a different
+        field set fails loudly instead of silently running with
+        defaults (the stale-cache shape FPR002 exists to prevent).
+        """
+        names = {field.name for field in dataclasses.fields(cls)}
+        unknown = set(data) - names
+        if unknown:
+            raise ValueError(
+                f"unknown fleet-scenario field(s) {sorted(unknown)}")
+        missing = names - set(data)
+        if missing:
+            raise ValueError(
+                f"fleet-scenario payload is missing field(s) "
+                f"{sorted(missing)}; re-export it with to_dict()")
+        payload = dict(data)
+        payload["dcc_thresholds"] = tuple(payload["dcc_thresholds"])
+        return cls(**payload)
+
 
 def fleet_fingerprint(scenario: FleetScenario) -> str:
     """A stable SHA-256 key for one fleet scenario (seed included).
@@ -133,6 +176,7 @@ def fleet_fingerprint(scenario: FleetScenario) -> str:
     pre-helper construction, so committed golden fixtures stay valid.
     """
     return spec_fingerprint("fleet", FLEET_FORMAT, {
+        # detlint: ignore[FPR004] -- tie_break is deliberately cache-separating: fifo/lifo/seeded runs are proven bit-identical by the tie-audit, but cached entries must never mix policies (ARCHITECTURE.md §11)
         "scenario": dataclasses.asdict(scenario),
     })
 

@@ -63,7 +63,7 @@ class StepRecord:
             step=data["step"],
             clock_time=data["clock_time"],
             sim_time=data["sim_time"],
-            detail=dict(data.get("detail", {})),
+            detail=dict(data["detail"]),
         )
 
 
@@ -142,7 +142,7 @@ class StepTimeline:
     def from_dict(cls, data: Dict[str, Any]) -> "StepTimeline":
         """Rebuild a timeline serialised by :meth:`to_dict`."""
         timeline = cls()
-        for entry in data.get("records", []):
+        for entry in data["records"]:
             record = StepRecord.from_dict(entry)
             timeline._records[record.step] = record
         return timeline

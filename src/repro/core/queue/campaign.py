@@ -184,7 +184,10 @@ def enqueue_fleet_campaign(
         run_id = index + 1
         run_scenario = scenario.with_seed(base_seed + index)
         payload: Dict[str, Any] = {
-            "scenario": dataclasses.asdict(run_scenario),
+            # to_dict (not asdict): emits the threshold tuple as a
+            # list, so the payload is a JSON fixed point and hashes
+            # identically before and after a queue round trip.
+            "scenario": run_scenario.to_dict(),
             "run_id": run_id,
             "plan_index": 0,
             "observe": observe,
@@ -195,7 +198,7 @@ def enqueue_fleet_campaign(
             kind="fleet", payload=payload))
     queue.set_meta("campaign", {
         "family": "fleet",
-        "scenario": dataclasses.asdict(scenario),
+        "scenario": scenario.to_dict(),
         "runs": runs,
         "base_seed": base_seed,
         "observe": observe,
@@ -399,11 +402,9 @@ def fold_queue_fleet_campaign(queue: WorkQueue, store: ArtifactStore,
     runs = [FleetRunResult.from_dict(entry["body"]["run"])
             for entry in completed]
     _fold_obs(completed, obs)
-    data = dict(meta["scenario"])
-    if "dcc_thresholds" in data:
-        data["dcc_thresholds"] = tuple(data["dcc_thresholds"])
-    return FleetCampaignResult(scenario=FleetScenario(**data),
-                               runs=runs, obs=obs)
+    return FleetCampaignResult(
+        scenario=FleetScenario.from_dict(meta["scenario"]),
+        runs=runs, obs=obs)
 
 
 # ---------------------------------------------------------------------------

@@ -103,10 +103,7 @@ def execute_item(kind: str, payload: Dict[str, Any],
         from repro.core.fleet.campaign import _execute_fleet_run
         from repro.core.fleet.scenario import FleetScenario
 
-        data = dict(payload["scenario"])
-        if "dcc_thresholds" in data:
-            data["dcc_thresholds"] = tuple(data["dcc_thresholds"])
-        scenario = FleetScenario(**data)
+        scenario = FleetScenario.from_dict(payload["scenario"])
         run_dict, obs_dict, wall = _execute_fleet_run(
             scenario, int(payload["run_id"]), observe)
         body = {"kind": "fleet", "run": run_dict}

@@ -331,11 +331,21 @@ class FaultPlan:
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "FaultPlan":
-        """Rebuild a plan serialised by :meth:`to_dict`."""
+        """Rebuild a plan serialised by :meth:`to_dict`.
+
+        Strict by design: both keys ``to_dict`` emits are required
+        and unknown keys are rejected, so a truncated or mistyped
+        plan payload fails loudly instead of silently running the
+        baseline.
+        """
+        unknown = set(data) - {"name", "faults"}
+        if unknown:
+            raise ValueError(
+                f"unknown fault-plan field(s) {sorted(unknown)}")
         return cls(
-            name=data.get("name", "baseline"),
+            name=str(data["name"]),
             faults=tuple(fault_from_dict(entry)
-                         for entry in data.get("faults", [])),
+                         for entry in data["faults"]),
         )
 
     @staticmethod

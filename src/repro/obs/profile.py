@@ -58,7 +58,7 @@ class WallStats:
         }
 
     @classmethod
-    def from_dict(cls, data: Dict[str, Any]) -> "WallStats":
+    def from_dict(cls, data: Dict[str, Any]) -> "WallStats":  # detlint: ignore[FPR002] -- 'mean_s' is derived (total_s / count) and recomputed by the mean property; reading it back could shadow the exact accumulator
         """Rebuild stats serialised by :meth:`to_dict`."""
         stats = cls()
         stats.count = int(data["count"])

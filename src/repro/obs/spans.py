@@ -119,7 +119,7 @@ class SpanStats:
         }
 
     @classmethod
-    def from_dict(cls, data: Dict[str, Any]) -> "SpanStats":
+    def from_dict(cls, data: Dict[str, Any]) -> "SpanStats":  # detlint: ignore[FPR002] -- 'mean_s' is derived (exact Fraction total / count) and recomputed by the mean property; persisting it is for humans reading the JSON, not for state
         """Rebuild stats serialised by :meth:`to_dict`.
 
         The float ``total_s`` is re-read exactly, so a round-trip

@@ -367,6 +367,12 @@ def _check_axis_keys(kind: str, data: Dict[str, Any],
         raise ValueError(
             f"unknown field(s) {sorted(unknown)} for axis kind "
             f"{kind!r}")
+    got = data.get("kind", kind)
+    if got != kind:
+        # Calling a concrete axis's from_dict with another kind's
+        # payload must fail, not silently coerce the fields.
+        raise ValueError(
+            f"axis payload kind {got!r} does not match {kind!r}")
 
 
 # ---------------------------------------------------------------------------
@@ -432,8 +438,8 @@ class Constraint:
             raise ValueError(
                 f"unknown constraint field(s) {sorted(unknown)}")
         return cls(lhs=str(data["lhs"]), op=str(data["op"]),
-                   rhs_axis=str(data.get("rhs_axis", "")),
-                   rhs_value=data.get("rhs_value"))
+                   rhs_axis=str(data["rhs_axis"]),
+                   rhs_value=data["rhs_value"])
 
 
 # ---------------------------------------------------------------------------
@@ -551,7 +557,15 @@ class VariationSpec:
         if unknown:
             raise ValueError(
                 f"unknown spec field(s) {sorted(unknown)}")
-        fmt = data.get("format", VARY_FORMAT)
+        if "format" not in data:
+            # A payload without the tag predates the tag itself:
+            # guessing "current" here is exactly the stale-spec bug
+            # the format field exists to prevent.
+            raise ValueError(
+                "spec payload carries no 'format' tag; re-export it "
+                f"with to_dict() (this build reads format "
+                f"{VARY_FORMAT})")
+        fmt = data["format"]
         if fmt != VARY_FORMAT:
             raise ValueError(
                 f"spec format {fmt!r} not supported (this build "
@@ -562,9 +576,9 @@ class VariationSpec:
             axes=tuple(axis_from_dict(axis)
                        for axis in data["axes"]),
             constraints=tuple(Constraint.from_dict(entry)
-                              for entry in data.get("constraints", [])),
-            base=dict(data.get("base", {})),
-            coverage_bins=int(data.get("coverage_bins", 4)),
+                              for entry in data["constraints"]),
+            base=dict(data["base"]),
+            coverage_bins=int(data["coverage_bins"]),
         )
 
     def fingerprint(self) -> str:

@@ -1,0 +1,29 @@
+"""FPR001 positive fixture: handwritten to_dict drops a field.
+
+``RadioSpec`` gained ``cs_latency`` after to_dict was written; the
+payload silently truncates, so a round-tripped spec is not the spec
+that ran.
+"""
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class RadioSpec:
+    tx_power_dbm: float
+    data_rate_bps: float
+    cs_latency: float
+
+    def to_dict(self):
+        return {
+            "tx_power_dbm": self.tx_power_dbm,
+            "data_rate_bps": self.data_rate_bps,
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(
+            tx_power_dbm=data["tx_power_dbm"],
+            data_rate_bps=data["data_rate_bps"],
+            cs_latency=4e-6,
+        )

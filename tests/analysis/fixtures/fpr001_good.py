@@ -1,0 +1,21 @@
+"""FPR001 negative fixture: to_dict delegates to asdict.
+
+Delegating to :func:`dataclasses.asdict` means a new field can never
+be forgotten; ``**data`` on the way back keeps the reader symmetric.
+"""
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class RadioSpec:
+    tx_power_dbm: float
+    data_rate_bps: float
+    cs_latency: float
+
+    def to_dict(self):
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(**data)

@@ -1,0 +1,25 @@
+"""FPR003 positive fixture: a read field missing from the payload.
+
+``run`` executes on both fields, but the fingerprint hashes only
+``speed``: two specs differing in ``gain`` share a cache key, so the
+second silently serves the first's results.
+"""
+
+import dataclasses
+
+from repro.core.fingerprint import spec_fingerprint
+
+
+@dataclasses.dataclass(frozen=True)
+class DemoSpec:
+    speed: float
+    gain: float
+
+
+def run(spec: DemoSpec):
+    return spec.speed * spec.gain
+
+
+def demo_key(spec: DemoSpec):
+    payload = {"speed": spec.speed}
+    return spec_fingerprint("demo", 1, payload)

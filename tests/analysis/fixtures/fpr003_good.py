@@ -1,0 +1,23 @@
+"""FPR003 negative fixture: the fingerprint covers the whole spec.
+
+``dataclasses.asdict`` hashes every field, so no execution-visible
+field can escape the cache key.
+"""
+
+import dataclasses
+
+from repro.core.fingerprint import spec_fingerprint
+
+
+@dataclasses.dataclass(frozen=True)
+class DemoSpec:
+    speed: float
+    gain: float
+
+
+def run(spec: DemoSpec):
+    return spec.speed * spec.gain
+
+
+def demo_key(spec: DemoSpec):
+    return spec_fingerprint("demo", 1, {"spec": dataclasses.asdict(spec)})

@@ -1,0 +1,21 @@
+"""FPR004 positive fixture: volatile knobs folded into the key.
+
+``workers`` and ``tie_break`` cannot change what a run computes;
+hashing them splits the cache, so identical work re-runs whenever an
+irrelevant knob moves.
+"""
+
+import dataclasses
+
+from repro.core.fingerprint import spec_fingerprint
+
+
+@dataclasses.dataclass(frozen=True)
+class PoolSpec:
+    speed: float
+    workers: int
+    tie_break: str
+
+
+def pool_key(spec: PoolSpec):
+    return spec_fingerprint("pool", 1, dataclasses.asdict(spec))

@@ -1,0 +1,25 @@
+"""FPR004 negative fixture: the payload carries only physics.
+
+The volatile knobs stay out of the fingerprint, so the cache key
+moves exactly when results can.
+"""
+
+import dataclasses
+
+from repro.core.fingerprint import spec_fingerprint
+
+
+@dataclasses.dataclass(frozen=True)
+class PoolSpec:
+    speed: float
+    workers: int
+    tie_break: str
+
+
+def run(spec: PoolSpec):
+    return spec.speed * 2.0
+
+
+def pool_key(spec: PoolSpec):
+    payload = {"speed": spec.speed}
+    return spec_fingerprint("pool", 1, payload)

@@ -1,0 +1,19 @@
+"""FPR005 positive fixture: non-canonical bytes feed a digest.
+
+Two shapes: ``json.dumps`` without ``sort_keys=True`` (insertion
+order leaks into the hash) and a comprehension over a bare
+``.items()`` view feeding the same digest.
+"""
+
+import hashlib
+import json
+
+
+def digest_payload(payload):
+    text = json.dumps(payload)
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+def digest_rows(table):
+    parts = ["%s=%s" % (k, v) for k, v in table.items()]
+    return hashlib.sha256("|".join(parts).encode()).hexdigest()

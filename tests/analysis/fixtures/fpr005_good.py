@@ -1,0 +1,18 @@
+"""FPR005 negative fixture: canonical bytes feed the digest.
+
+``sort_keys=True`` and ``sorted()`` iteration make equal payloads
+hash identically whatever order they were built in.
+"""
+
+import hashlib
+import json
+
+
+def digest_payload(payload):
+    text = json.dumps(payload, sort_keys=True)
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+def digest_rows(table):
+    parts = ["%s=%s" % (k, v) for k, v in sorted(table.items())]
+    return hashlib.sha256("|".join(parts).encode()).hexdigest()

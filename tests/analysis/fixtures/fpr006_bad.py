@@ -1,0 +1,14 @@
+"""FPR006 positive fixture: one substream name, two consumers.
+
+``build_interference`` copy-pasted ``build_medium``'s substream
+name: the two "independent" generators are seeded identically and
+draw the same values.
+"""
+
+
+def build_medium(streams):
+    return streams.get("fleet.medium")
+
+
+def build_interference(streams):
+    return streams.get("fleet.medium")

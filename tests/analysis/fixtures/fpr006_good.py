@@ -1,0 +1,20 @@
+"""FPR006 negative fixture: one substream name per consumer.
+
+Each consumer scopes its name, so the two generators are seeded
+independently; re-deriving the *same* stream twice from one site is
+legitimate and stays quiet.
+"""
+
+
+def build_medium(streams):
+    return streams.get("fleet.medium")
+
+
+def build_interference(streams):
+    return streams.get("fleet.interference")
+
+
+def rebuild_medium_twice(streams):
+    first = streams.get("fleet.medium.twice")
+    second = streams.get("fleet.medium.twice")
+    return first, second

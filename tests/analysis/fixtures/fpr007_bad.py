@@ -1,0 +1,13 @@
+"""FPR007 positive fixture: cache read with no verification.
+
+The entry is parsed and trusted as-is: after a crash or a format
+bump, a stale or truncated body is served as a hit.
+"""
+
+import json
+
+
+def read_entry(path):
+    with open(path) as handle:
+        body = json.load(handle)
+    return body["payload"]

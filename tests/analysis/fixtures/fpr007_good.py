@@ -1,0 +1,17 @@
+"""FPR007 negative fixture: the read verifies before trusting.
+
+The format tag gates the parse result, so an entry written by a
+different build is a miss instead of garbage served as a hit.
+"""
+
+import json
+
+ENTRY_FORMAT = 3
+
+
+def read_entry(path):
+    with open(path) as handle:
+        body = json.load(handle)
+    if body.get("format") != ENTRY_FORMAT:
+        return None
+    return body["payload"]

@@ -1,0 +1,21 @@
+"""FPR008 positive fixture: ad-hoc store and queue keys.
+
+An f-string result key and a raw hexdigest both bypass the
+canonical fingerprint helper: they collide across configs and the
+crash-fold equality proof no longer covers them.
+"""
+
+import hashlib
+
+
+def enqueue_run(queue, spec, seed):
+    item = {
+        "result_key": f"run-{seed}",
+        "spec": spec,
+    }
+    queue.push(item)
+
+
+def store_result(store, body, label):
+    key = hashlib.sha256(label.encode()).hexdigest()
+    store.put(key, body)

@@ -1,0 +1,25 @@
+"""FPR008 negative fixture: keys from the canonical helper.
+
+Every store and queue key comes from ``spec_fingerprint`` (or a
+wrapper), so content-addressing -- and the crash-fold equality proof
+built on it -- covers the whole write path.
+"""
+
+from repro.core.fingerprint import spec_fingerprint
+
+
+def run_fingerprint(spec, seed):
+    return spec_fingerprint("run", 1, {"spec": spec, "seed": seed})
+
+
+def enqueue_run(queue, spec, seed):
+    item = {
+        "result_key": run_fingerprint(spec, seed),
+        "spec": spec,
+    }
+    queue.push(item)
+
+
+def store_result(store, body, spec, seed):
+    key = run_fingerprint(spec, seed)
+    store.put(key, body)

@@ -1,5 +1,6 @@
 """Tests for the step timeline, latency statistics and braking analysis."""
 
+import json
 import math
 
 import numpy as np
@@ -86,6 +87,26 @@ class TestStepTimeline:
         timeline = StepTimeline()
         timeline.record(Steps.DETECTION, sim_time=1.0, label="stop sign")
         assert timeline.get(Steps.DETECTION).detail["label"] == "stop sign"
+
+    def test_round_trip_is_byte_identical(self):
+        timeline = make_timeline()
+        payload = timeline.to_dict()
+        rebuilt = StepTimeline.from_dict(payload)
+        assert rebuilt.to_dict() == payload
+        assert json.dumps(rebuilt.to_dict(), sort_keys=True) == \
+            json.dumps(payload, sort_keys=True)
+
+    def test_from_dict_rejects_partial_payloads(self):
+        # FPR002 regression: a stale payload missing a key must fail
+        # loudly, never deserialize with a silent default.
+        payload = make_timeline().to_dict()
+        del payload["records"]
+        with pytest.raises(KeyError):
+            StepTimeline.from_dict(payload)
+        entry = dict(make_timeline().to_dict()["records"][0])
+        del entry["detail"]
+        with pytest.raises(KeyError):
+            StepTimeline.from_dict({"records": [entry]})
 
 
 class TestRunMeasurement:
